@@ -1,0 +1,72 @@
+// Command flinkbench reproduces the Flink side of the evaluation: the
+// QA–QE query matrix under the built-in serializers and Skyway
+// (Figure 8(b)), the query inventory (Table 3), and the normalized summary
+// (Table 4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"skyway/internal/batch"
+	"skyway/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "Table 3: query descriptions")
+		fig8b  = flag.Bool("fig8b", false, "Figure 8(b): QA-QE under built-in and Skyway serializers")
+		table4 = flag.Bool("table4", false, "Table 4: normalized summary (implies -fig8b)")
+		sf     = flag.Float64("sf", 1.0, "TPC-H scale factor (1.0 ≈ 60k lineitems)")
+	)
+	flag.Parse()
+	if !*list && !*fig8b && !*table4 {
+		*list, *fig8b, *table4 = true, true, true
+	}
+
+	if *list {
+		fmt.Println("Table 3 — queries")
+		for _, q := range batch.AllQueries() {
+			fmt.Printf("  %s  %s\n", q, batch.Describe(q))
+		}
+		fmt.Println()
+	}
+
+	if !*fig8b && !*table4 {
+		return
+	}
+	cfg := experiments.DefaultFlinkConfig()
+	cfg.SF = *sf
+	cells, err := experiments.RunFlinkMatrix(cfg, batch.AllQueries())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *fig8b {
+		fmt.Printf("Figure 8(b) — Flink QA-QE (sf=%.2f, 3 task managers)\n", *sf)
+		fmt.Printf("  %-4s %-14s %10s %10s %10s %10s %10s %10s %12s\n",
+			"q", "serializer", "total", "compute", "ser", "writeIO", "deser", "readIO", "bytes")
+		digests := make(map[batch.Query]float64)
+		for _, c := range cells {
+			b := c.Breakdown
+			fmt.Printf("  %-4s %-14s %10v %10v %10v %10v %10v %10v %12d\n",
+				c.Query, c.Serializer,
+				b.Total().Round(time.Millisecond), b.Compute.Round(time.Millisecond), b.Ser.Round(time.Millisecond),
+				b.WriteIO.Round(time.Millisecond), b.Deser.Round(time.Millisecond), b.ReadIO.Round(time.Millisecond),
+				b.ShuffleBytes)
+			if prev, ok := digests[c.Query]; ok && prev != c.Digest {
+				fmt.Printf("  WARNING: %s digests differ across serializers (%v vs %v)\n", c.Query, prev, c.Digest)
+			}
+			digests[c.Query] = c.Digest
+		}
+		fmt.Println()
+	}
+
+	if *table4 {
+		fmt.Println("Table 4 — Skyway normalized to Flink's built-in serializers (lo ~ hi (geomean))")
+		fmt.Printf("  %s\n", experiments.Table4(cells).Row())
+		fmt.Println("  paper:  Overall 0.71~0.88 (0.81), Ser (0.77), Des (0.75), Size 1.23~2.03 (1.68)")
+	}
+}

@@ -1,0 +1,64 @@
+// Command skywayd runs the driver-side global type registry as a standalone
+// daemon (Algorithm 1's driver, part 2): workers connect over TCP to bulk-
+// fetch the registry view at startup and to look up IDs for newly loaded
+// classes.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	"skyway/internal/registry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7741", "listen address")
+	snapshot := flag.String("snapshot", "", "snapshot file: restored at startup if present, written at shutdown (restart-safe type IDs, §4.1)")
+	flag.Parse()
+
+	reg := registry.NewRegistry()
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			restored, err := registry.Restore(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("skywayd: restoring %s: %v", *snapshot, err)
+			}
+			reg = restored
+			log.Printf("skywayd: restored %d types from %s", reg.Len(), *snapshot)
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("skywayd: %v", err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("skywayd: %v", err)
+	}
+	srv := registry.Serve(reg, ln)
+	log.Printf("skywayd: type registry listening on %s", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("skywayd: shutting down with %d registered types", reg.Len())
+	if err := srv.Close(); err != nil {
+		log.Fatalf("skywayd: close: %v", err)
+	}
+	if *snapshot != "" {
+		f, err := os.Create(*snapshot)
+		if err != nil {
+			log.Fatalf("skywayd: %v", err)
+		}
+		if err := reg.Snapshot(f); err != nil {
+			log.Fatalf("skywayd: snapshot: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("skywayd: snapshot: %v", err)
+		}
+		log.Printf("skywayd: snapshot written to %s", *snapshot)
+	}
+}

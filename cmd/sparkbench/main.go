@@ -1,0 +1,190 @@
+// Command sparkbench reproduces the Spark side of the evaluation: the §2.2
+// motivation breakdown (Figure 3), the serializer matrix (Figure 8(a)), the
+// normalized summary (Table 2), the dataset inventory (Table 1), the §5.2
+// byte-composition analysis, and the memory-overhead measurement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"skyway/internal/datagen"
+	"skyway/internal/experiments"
+	"skyway/internal/metrics"
+)
+
+func main() {
+	var (
+		fig3   = flag.Bool("fig3", false, "Figure 3: TC/LiveJournal breakdown under Kryo and Java")
+		fig8a  = flag.Bool("fig8a", false, "Figure 8(a): apps x graphs x serializers")
+		table1 = flag.Bool("table1", false, "Table 1: graph inputs")
+		table2 = flag.Bool("table2", false, "Table 2: normalized summary (implies -fig8a)")
+		bytesA = flag.Bool("bytes", false, "extra-bytes composition analysis")
+		mem    = flag.Bool("mem", false, "memory overhead of the baddr header word")
+		scale  = flag.Float64("scale", 0.15, "graph scale (1.0 = 1/100 of the paper's sizes)")
+		apps   = flag.String("apps", "WC,PR,CC,TC", "comma-separated app subset for -fig8a")
+		heapMB = flag.Int("heap", 1024, "executor heap size in MB")
+	)
+	flag.Parse()
+	if !*fig3 && !*fig8a && !*table1 && !*table2 && !*bytesA && !*mem {
+		*fig3, *table1, *table2, *bytesA, *mem = true, true, true, true, true
+	}
+
+	cfg := experiments.DefaultSparkConfig()
+	cfg.GraphScale = *scale
+	cfg.HeapMB = *heapMB
+
+	if *table1 {
+		fmt.Println("Table 1 — graph inputs (scaled)")
+		fmt.Printf("%-14s %12s %12s %10s  %s\n", "graph", "#vertices", "#edges", "maxdeg", "description")
+		for _, spec := range datagen.PaperGraphs(*scale) {
+			g := spec.Generate()
+			fmt.Printf("%-14s %12d %12d %10d  %s\n", spec.Name, g.N, g.M, g.MaxDegree(), spec.Description)
+		}
+		fmt.Println()
+	}
+
+	if *fig3 {
+		fmt.Println("Figure 3 — Spark S/D cost: TriangleCounting over LiveJournal (3 workers)")
+		res, err := experiments.RunFig3(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printBreakdownTable(toCells(res))
+		for _, r := range res {
+			fmt.Printf("  %-6s S/D share of total: %.1f%% (paper: >30%%)\n", r.Serializer, r.Breakdown.SDShare()*100)
+		}
+		fmt.Println()
+	}
+
+	var cells []experiments.SparkCell
+	if *fig8a || *table2 {
+		appList := parseApps(*apps)
+		var err error
+		cells, err = experiments.RunSparkMatrix(cfg, datagen.PaperGraphs(*scale), appList)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *fig8a {
+		fmt.Println("Figure 8(a) — Spark runtime breakdown per app x graph x serializer")
+		printMatrix(cells)
+	}
+	if *table2 {
+		fmt.Println("Table 2 — performance normalized to the Java serializer (lo ~ hi (geomean); lower is better, Size > 1 = more bytes)")
+		for _, ser := range []string{"kryo", "skyway"} {
+			sum := experiments.Table2(cells)[ser]
+			fmt.Printf("  %-8s %s\n", ser, sum.Row())
+		}
+		fmt.Println("  paper:   kryo Overall geomean 0.76, skyway 0.64; skyway Des 0.16, Size 1.15 (vs kryo 0.52)")
+		fmt.Println()
+	}
+
+	if *bytesA {
+		fmt.Println("Extra-bytes composition (§5.2) — PageRank/LiveJournal")
+		eb, err := experiments.RunExtraBytes(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  skyway bytes %d vs kryo bytes %d (%.2fx; paper: 1.77x)\n",
+			eb.SkywayBytes, eb.KryoBytes, float64(eb.SkywayBytes)/float64(eb.KryoBytes))
+		fmt.Printf("  skyway stream composition: headers %.0f%%, padding %.0f%%, pointers %.0f%% of extra bytes (paper: 51%%/34%%/15%%)\n\n",
+			eb.HeaderShare*100, eb.PadShare*100, eb.PtrShare*100)
+	}
+
+	if *mem {
+		fmt.Println("Memory overhead of the baddr header word (§5.2; paper: 2.1%–21.8%, avg 15.4%)")
+		res, err := experiments.RunMemOverhead(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sum float64
+		for _, r := range res {
+			fmt.Printf("  %-4s peak heap %8.1f MiB with baddr, %8.1f MiB without: +%.1f%%\n",
+				r.App, float64(r.PeakWithBaddr)/(1<<20), float64(r.PeakWithoutBaddr)/(1<<20), r.OverheadFraction*100)
+			sum += r.OverheadFraction
+		}
+		fmt.Printf("  average overhead: %.1f%%\n", sum/float64(len(res))*100)
+	}
+}
+
+func parseApps(s string) []experiments.SparkApp {
+	var out []experiments.SparkApp
+	for _, a := range experiments.SparkApps() {
+		for _, tok := range splitComma(s) {
+			if string(a) == tok {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+func splitComma(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func toCells(res []experiments.Fig3Result) []experiments.SparkCell {
+	var cells []experiments.SparkCell
+	for _, r := range res {
+		cells = append(cells, experiments.SparkCell{
+			App: experiments.TC, Graph: "LiveJournal", Serializer: r.Serializer, Breakdown: r.Breakdown,
+		})
+	}
+	return cells
+}
+
+func printBreakdownTable(cells []experiments.SparkCell) {
+	fmt.Printf("  %-6s %-14s %-8s %10s %10s %10s %10s %10s %10s %12s %12s\n",
+		"app", "graph", "ser", "total", "compute", "ser", "writeIO", "deser", "readIO", "localB", "remoteB")
+	for _, c := range cells {
+		b := c.Breakdown
+		fmt.Printf("  %-6s %-14s %-8s %10v %10v %10v %10v %10v %10v %12d %12d\n",
+			c.App, c.Graph, c.Serializer,
+			b.Total().Round(time.Millisecond), b.Compute.Round(time.Millisecond), b.Ser.Round(time.Millisecond),
+			b.WriteIO.Round(time.Millisecond), b.Deser.Round(time.Millisecond), b.ReadIO.Round(time.Millisecond),
+			b.LocalBytes, b.RemoteBytes)
+	}
+}
+
+func printMatrix(cells []experiments.SparkCell) {
+	byKey := make(map[string][]experiments.SparkCell)
+	var order []string
+	for _, c := range cells {
+		k := string(c.App) + "-" + c.Graph
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], c)
+	}
+	for _, k := range order {
+		printBreakdownTable(byKey[k])
+		// Digest agreement check across serializers.
+		group := byKey[k]
+		for _, c := range group[1:] {
+			if c.Digest != group[0].Digest {
+				fmt.Printf("  WARNING: %s digest %v differs from %s digest %v\n",
+					c.Serializer, c.Digest, group[0].Serializer, group[0].Digest)
+			}
+		}
+		fmt.Println()
+	}
+	_ = metrics.Breakdown{}
+}

@@ -1,0 +1,63 @@
+// TPC-H query answering on the mini-Flink batch engine (§5.3): runs one of
+// the QA–QE queries under both Flink's built-in schema-specialized
+// serializers and Skyway, printing the breakdown side by side.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"skyway/internal/batch"
+	"skyway/internal/datagen"
+	"skyway/internal/klass"
+)
+
+func main() {
+	query := flag.String("query", "QC", "query to run (QA..QE, or 'all')")
+	sf := flag.Float64("sf", 0.5, "TPC-H scale factor (1.0 ≈ 60k lineitems)")
+	workers := flag.Int("workers", 3, "task manager count")
+	flag.Parse()
+
+	var queries []batch.Query
+	if *query == "all" {
+		queries = batch.AllQueries()
+	} else {
+		queries = []batch.Query{batch.Query(*query)}
+	}
+
+	gen := datagen.GenTPCH(*sf, 2024)
+	fmt.Printf("dataset: sf=%.2f — %d lineitems, %d orders, %d customers\n\n",
+		*sf, len(gen.LineItems), len(gen.Orders), len(gen.Customers))
+
+	modes := []struct {
+		name    string
+		factory batch.CodecFactory
+	}{
+		{"flink-builtin", batch.BuiltinFactory()},
+		{"skyway", batch.SkywayFactory()},
+	}
+
+	for _, q := range queries {
+		fmt.Printf("%s: %s\n", q, batch.Describe(q))
+		for _, m := range modes {
+			cp := klass.NewPath()
+			batch.TPCHClasses(cp)
+			c, err := batch.NewCluster(cp, batch.Config{Workers: *workers}, m.factory)
+			if err != nil {
+				log.Fatal(err)
+			}
+			db, err := batch.Load(c, gen)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bd, digest, err := batch.Run(c, q, db)
+			if err != nil {
+				log.Fatalf("%s/%s: %v", m.name, q, err)
+			}
+			fmt.Printf("  %-14s %s\n                 result digest %.2f\n", m.name, bd, digest)
+			db.Free()
+		}
+		fmt.Println()
+	}
+}

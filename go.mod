@@ -1,0 +1,3 @@
+module skyway
+
+go 1.22

@@ -1,0 +1,229 @@
+package batch
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"skyway/internal/datagen"
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+	"skyway/internal/registry"
+	"skyway/internal/vm"
+)
+
+func smallHeap() heap.Config {
+	return heap.Config{
+		EdenSize:     24 << 20,
+		SurvivorSize: 2 << 20,
+		OldSize:      96 << 20,
+		BufferSize:   64 << 20,
+		Layout:       klass.Layout{Baddr: true},
+	}
+}
+
+func newTestCluster(t *testing.T, factory CodecFactory) *Cluster {
+	t.Helper()
+	cp := klass.NewPath()
+	TPCHClasses(cp)
+	c, err := NewCluster(cp, Config{Workers: 3, Heap: smallHeap()}, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTupleCodecRoundTrip(t *testing.T) {
+	cp := klass.NewPath()
+	TPCHClasses(cp)
+	reg := registry.NewRegistry()
+	snd, err := vm.NewRuntime(cp, vm.Options{Name: "s", Registry: registry.InProc{R: reg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := vm.NewRuntime(cp, vm.Options{Name: "r", Registry: registry.InProc{R: reg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck := snd.MustLoad(CustomerClass)
+	row := snd.MustNew(ck)
+	rh := snd.Pin(row)
+	snd.SetInt(rh.Addr(), ck.FieldByName("custkey"), 42)
+	snd.SetInt(rh.Addr(), ck.FieldByName("nationkey"), 7)
+	snd.SetDouble(rh.Addr(), ck.FieldByName("acctbal"), -123.45)
+	s := snd.MustNewString("BUILDING")
+	snd.SetRef(rh.Addr(), ck.FieldByName("mktsegment"), s)
+	// name left null.
+
+	codec := NewTupleCodec(CustomerClass, nil)
+	var buf bytes.Buffer
+	enc := codec.NewEncoder(snd, &buf)
+	if err := enc.Write(rh.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if enc.Bytes() != int64(buf.Len()) {
+		t.Errorf("Bytes() = %d, want %d", enc.Bytes(), buf.Len())
+	}
+
+	dec := codec.NewDecoder(rcv, &buf)
+	got, err := dec.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rck := rcv.MustLoad(CustomerClass)
+	if rcv.GetInt(got, rck.FieldByName("custkey")) != 42 {
+		t.Error("custkey corrupted")
+	}
+	if rcv.GetDouble(got, rck.FieldByName("acctbal")) != -123.45 {
+		t.Error("acctbal corrupted")
+	}
+	if rcv.GoString(rcv.GetRef(got, rck.FieldByName("mktsegment"))) != "BUILDING" {
+		t.Error("string corrupted")
+	}
+	if rcv.GetRef(got, rck.FieldByName("name")) != heap.Null {
+		t.Error("null string not preserved")
+	}
+	if _, err := dec.Read(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+	rh.Release()
+}
+
+func TestTupleCodecLazyFields(t *testing.T) {
+	cp := klass.NewPath()
+	TPCHClasses(cp)
+	reg := registry.NewRegistry()
+	snd, _ := vm.NewRuntime(cp, vm.Options{Name: "s", Registry: registry.InProc{R: reg}})
+	rcv, _ := vm.NewRuntime(cp, vm.Options{Name: "r", Registry: registry.InProc{R: reg}})
+
+	ck := snd.MustLoad(CustomerClass)
+	row := snd.MustNew(ck)
+	rh := snd.Pin(row)
+	snd.SetInt(rh.Addr(), ck.FieldByName("custkey"), 9)
+	snd.SetDouble(rh.Addr(), ck.FieldByName("acctbal"), 55.5)
+	s := snd.MustNewString("MACHINERY")
+	snd.SetRef(rh.Addr(), ck.FieldByName("mktsegment"), s)
+
+	// Only custkey is needed: strings and acctbal must be skipped (not
+	// materialized).
+	codec := NewTupleCodec(CustomerClass, []string{"custkey"})
+	var buf bytes.Buffer
+	enc := codec.NewEncoder(snd, &buf)
+	if err := enc.Write(rh.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	enc.Flush()
+	got, err := codec.NewDecoder(rcv, &buf).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rck := rcv.MustLoad(CustomerClass)
+	if rcv.GetInt(got, rck.FieldByName("custkey")) != 9 {
+		t.Error("needed field missing")
+	}
+	if rcv.GetRef(got, rck.FieldByName("mktsegment")) != heap.Null {
+		t.Error("lazy field was materialized")
+	}
+	if rcv.GetDouble(got, rck.FieldByName("acctbal")) != 0 {
+		t.Error("skipped primitive was materialized")
+	}
+	rh.Release()
+}
+
+func TestTupleCodecRejectsWrongClass(t *testing.T) {
+	cp := klass.NewPath()
+	TPCHClasses(cp)
+	reg := registry.NewRegistry()
+	snd, _ := vm.NewRuntime(cp, vm.Options{Name: "s", Registry: registry.InProc{R: reg}})
+	nk := snd.MustLoad(NationClass)
+	row := snd.MustNew(nk)
+	codec := NewTupleCodec(CustomerClass, nil)
+	enc := codec.NewEncoder(snd, io.Discard)
+	if err := enc.Write(row); err == nil {
+		t.Error("encoding a wrong-class row succeeded")
+	}
+}
+
+func loadTestDB(t *testing.T, c *Cluster) *DB {
+	t.Helper()
+	gen := datagen.GenTPCH(0.4, 11)
+	db, err := Load(c, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestAllQueriesAgreeAcrossSerializers(t *testing.T) {
+	want := make(map[Query]float64)
+	for _, mode := range []string{"builtin", "skyway"} {
+		var factory CodecFactory
+		if mode == "builtin" {
+			factory = BuiltinFactory()
+		} else {
+			factory = SkywayFactory()
+		}
+		c := newTestCluster(t, factory)
+		db := loadTestDB(t, c)
+		for _, q := range AllQueries() {
+			bd, digest, err := Run(c, q, db)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", mode, q, err)
+			}
+			if bd.ShuffleBytes == 0 {
+				t.Errorf("%s/%s: no exchange volume", mode, q)
+			}
+			if mode == "builtin" {
+				want[q] = digest
+			} else if digest != want[q] {
+				t.Errorf("%s: skyway digest %f != builtin %f", q, digest, want[q])
+			}
+		}
+		db.Free()
+	}
+}
+
+func TestQueryDescriptions(t *testing.T) {
+	for _, q := range AllQueries() {
+		if Describe(q) == "unknown query" {
+			t.Errorf("no description for %s", q)
+		}
+	}
+	if Describe(Query("QZ")) != "unknown query" {
+		t.Error("bogus query described")
+	}
+}
+
+func TestBuiltinSmallerButSlowerThanSkywayOnDeser(t *testing.T) {
+	// Table 4's shape: Skyway emits more bytes (1.23~2.03×) but cuts
+	// deserialization (geomean 0.75).
+	run := func(factory CodecFactory) (deserPerRec float64, bytes int64) {
+		c := newTestCluster(t, factory)
+		db := loadTestDB(t, c)
+		defer db.Free()
+		var totalDeser float64
+		var totalRecs, totalBytes int64
+		for _, q := range AllQueries() {
+			bd, _, err := Run(c, q, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			totalDeser += float64(bd.Deser)
+			totalRecs += bd.Records
+			totalBytes += bd.ShuffleBytes
+		}
+		return totalDeser / float64(totalRecs), totalBytes
+	}
+	builtinDeser, builtinBytes := run(BuiltinFactory())
+	skyDeser, skyBytes := run(SkywayFactory())
+	if skyBytes <= builtinBytes {
+		t.Errorf("skyway bytes (%d) not larger than builtin (%d)", skyBytes, builtinBytes)
+	}
+	if skyDeser >= builtinDeser {
+		t.Errorf("skyway per-record deser (%f) not below builtin (%f)", skyDeser, builtinDeser)
+	}
+}

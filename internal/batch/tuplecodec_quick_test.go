@@ -1,0 +1,90 @@
+package batch
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"skyway/internal/klass"
+	"skyway/internal/registry"
+	"skyway/internal/vm"
+)
+
+// Property: arbitrary lineitem tuples survive the built-in tuple serializer
+// bit-exactly, with and without lazy field sets.
+func TestTupleCodecQuick(t *testing.T) {
+	cp := klass.NewPath()
+	TPCHClasses(cp)
+	reg := registry.NewRegistry()
+	snd, err := vm.NewRuntime(cp, vm.Options{Name: "tq-s", Registry: registry.InProc{R: reg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := vm.NewRuntime(cp, vm.Options{Name: "tq-r", Registry: registry.InProc{R: reg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk := snd.MustLoad(LineItemClass)
+
+	fieldNames := make([]string, len(lk.Fields))
+	for i := range lk.Fields {
+		fieldNames[i] = lk.Fields[i].Name
+	}
+
+	f := func(ok, pk int32, qty, price float64, rf byte, lazySel uint8) bool {
+		row := snd.MustNew(lk)
+		rh := snd.Pin(row)
+		defer rh.Release()
+		snd.SetInt(rh.Addr(), lk.FieldByName("orderkey"), int64(ok))
+		snd.SetInt(rh.Addr(), lk.FieldByName("partkey"), int64(pk))
+		snd.SetDouble(rh.Addr(), lk.FieldByName("quantity"), qty)
+		snd.SetDouble(rh.Addr(), lk.FieldByName("extendedprice"), price)
+		snd.SetInt(rh.Addr(), lk.FieldByName("returnflag"), int64(rf))
+
+		// Random subset of needed fields (always include orderkey).
+		needed := []string{"orderkey"}
+		for i, n := range fieldNames {
+			if lazySel&(1<<(uint(i)%8)) != 0 {
+				needed = append(needed, n)
+			}
+		}
+		codec := NewTupleCodec(LineItemClass, needed)
+		var buf bytes.Buffer
+		enc := codec.NewEncoder(snd, &buf)
+		if err := enc.Write(rh.Addr()); err != nil {
+			return false
+		}
+		if err := enc.Flush(); err != nil {
+			return false
+		}
+		got, err := codec.NewDecoder(rcv, &buf).Read()
+		if err != nil {
+			return false
+		}
+		rlk := rcv.MustLoad(LineItemClass)
+		if rcv.GetInt(got, rlk.FieldByName("orderkey")) != int64(ok) {
+			return false
+		}
+		inNeeded := func(name string) bool {
+			for _, n := range needed {
+				if n == name {
+					return true
+				}
+			}
+			return false
+		}
+		if inNeeded("quantity") && rcv.GetDouble(got, rlk.FieldByName("quantity")) != qty {
+			return false
+		}
+		if !inNeeded("quantity") && rcv.GetDouble(got, rlk.FieldByName("quantity")) != 0 {
+			return false
+		}
+		if inNeeded("returnflag") && byte(rcv.GetInt(got, rlk.FieldByName("returnflag"))) != rf {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+)
+
+// Compact transfer mode — the paper's stated future work (§5.2): "Since
+// headers and paddings dominate these extra bytes, future work could focus
+// on compressing headers and paddings during sending."
+//
+// In compact mode the logical transfer is unchanged — relative addresses,
+// top marks and the receiver-side absolutization all operate on the fully
+// laid-out object images — but the wire encoding of each object drops the
+// header words that are reconstructible:
+//
+//	record := tid(uvarint) flags(u8) [hash(u32)] [arraylen(uvarint)] payload
+//
+// where payload is the raw post-header bytes (reference slots already
+// relativized). The mark word travels only when the object actually has a
+// cached hashcode (flag bit 0); the baddr word and padding words at fixed
+// positions are never sent. The receiver re-inflates each record into a
+// normal input-buffer chunk, so everything downstream of the segment
+// decoder — translation table, card marking, pinning, field updates — is
+// shared with the standard mode. Compact segments trade sender/receiver
+// CPU for bytes; BenchmarkAblationCompact quantifies the trade.
+const (
+	compactFlagHashed = 1 << 0
+	compactFlagArray  = 1 << 1
+)
+
+// appendCompact encodes the full object image img (in target layout, header
+// already fixed up) into dst.
+func appendCompact(dst []byte, img []byte, target klass.Layout, isArray bool) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	tid := binary.LittleEndian.Uint64(img[klass.OffKlass:])
+	dst = append(dst, tmp[:binary.PutUvarint(tmp[:], tid)]...)
+
+	mark := binary.LittleEndian.Uint64(img[klass.OffMark:])
+	hash, hashed := markHash(mark)
+	var flags byte
+	if hashed {
+		flags |= compactFlagHashed
+	}
+	if isArray {
+		flags |= compactFlagArray
+	}
+	dst = append(dst, flags)
+	if hashed {
+		var h [4]byte
+		binary.LittleEndian.PutUint32(h[:], hash)
+		dst = append(dst, h[:]...)
+	}
+	payloadOff := target.HeaderSize()
+	if isArray {
+		n := binary.LittleEndian.Uint64(img[target.OffArrayLen():])
+		dst = append(dst, tmp[:binary.PutUvarint(tmp[:], n)]...)
+		payloadOff = target.ArrayHeaderSize()
+	}
+	return append(dst, img[payloadOff:]...)
+}
+
+// markHash extracts the cached hashcode from a mark word.
+func markHash(mark uint64) (uint32, bool) {
+	const hashedBit = 1 << 3
+	if mark&hashedBit == 0 {
+		return 0, false
+	}
+	return uint32(mark >> 8), true
+}
+
+// composeMark builds a mark word carrying only a cached hashcode.
+func composeMark(hash uint32, hashed bool) uint64 {
+	if !hashed {
+		return 0
+	}
+	return uint64(hash)<<8 | 1<<3
+}
+
+// decodeCompactSegment inflates a compact segment (phys bytes) into the
+// freshly allocated chunk at base spanning decoded bytes, leaving objects in
+// exactly the state a standard segment would: klass word holding the global
+// type ID, baddr zero, references still relative.
+func (rd *Reader) decodeCompactSegment(phys []byte, base heap.Addr, decoded uint32) error {
+	rt := rd.rt
+	h := rt.Heap
+	layout := h.Layout()
+	pos := 0
+	a := base
+	end := base + heap.Addr(decoded)
+
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(phys[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("skyway: compact segment truncated at byte %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+
+	for pos < len(phys) {
+		if a >= end {
+			return fmt.Errorf("skyway: compact segment inflates past its declared size")
+		}
+		tid64, err := readUvarint()
+		if err != nil {
+			return err
+		}
+		k, err := rt.KlassByTID(int32(uint32(tid64)))
+		if err != nil {
+			return err
+		}
+		if pos >= len(phys) {
+			return fmt.Errorf("skyway: compact segment truncated (flags)")
+		}
+		flags := phys[pos]
+		pos++
+		var hash uint32
+		hashed := flags&compactFlagHashed != 0
+		if hashed {
+			if pos+4 > len(phys) {
+				return fmt.Errorf("skyway: compact segment truncated (hash)")
+			}
+			hash = binary.LittleEndian.Uint32(phys[pos:])
+			pos += 4
+		}
+		isArray := flags&compactFlagArray != 0
+		if isArray != k.IsArray {
+			return fmt.Errorf("skyway: compact record array flag disagrees with class %s", k.Name)
+		}
+
+		size := k.Size
+		payloadOff := layout.HeaderSize()
+		arrayLen := uint64(0)
+		if isArray {
+			arrayLen, err = readUvarint()
+			if err != nil {
+				return err
+			}
+			if arrayLen > uint64(decoded) {
+				return fmt.Errorf("skyway: compact record array length %d implausible", arrayLen)
+			}
+			size = k.InstanceBytes(int(arrayLen))
+			payloadOff = layout.ArrayHeaderSize()
+		}
+		if uint64(a)+uint64(size) > uint64(end) {
+			return fmt.Errorf("skyway: compact record overruns its chunk")
+		}
+		payload := size - payloadOff
+		if pos+int(payload) > len(phys) {
+			return fmt.Errorf("skyway: compact segment truncated (payload)")
+		}
+
+		// Re-inflate the standard image.
+		h.SetMark(a, composeMark(hash, hashed))
+		h.SetKlassWord(a, tid64)
+		if layout.Baddr {
+			h.SetBaddr(a, 0)
+		}
+		if isArray {
+			h.SetArrayLen(a, int(arrayLen))
+		}
+		if payload > 0 {
+			h.CopyIn(a+heap.Addr(payloadOff), payload, phys[pos:])
+		}
+		pos += int(payload)
+		a += heap.Addr(size)
+	}
+	if a != end {
+		return fmt.Errorf("skyway: compact segment inflated to %d bytes, expected %d", uint64(a-base), decoded)
+	}
+	return nil
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+	"skyway/internal/registry"
+	"skyway/internal/vm"
+)
+
+// testClusterPath returns the shared classpath used by testCluster.
+func testClusterPath() *klass.Path {
+	cp := klass.NewPath()
+	cp.MustDefine(
+		&klass.ClassDef{Name: "Date", Fields: []klass.FieldDef{
+			{Name: "year", Kind: klass.Ref, Class: "Year4D"},
+			{Name: "month", Kind: klass.Int32},
+			{Name: "day", Kind: klass.Int32},
+		}},
+		&klass.ClassDef{Name: "Year4D", Fields: []klass.FieldDef{
+			{Name: "value", Kind: klass.Int32},
+		}},
+		&klass.ClassDef{Name: "Cell", Fields: []klass.FieldDef{
+			{Name: "v", Kind: klass.Float64},
+			{Name: "next", Kind: klass.Ref, Class: "Cell"},
+		}},
+	)
+	return cp
+}
+
+// newSenderFor boots a sender runtime on cp with a fresh registry, returning
+// the registry client (for further runtimes) and the sender.
+func newSenderFor(t *testing.T, cp *klass.Path) (registry.Client, *vm.Runtime) {
+	t.Helper()
+	reg := registry.InProc{R: registry.NewRegistry()}
+	snd, err := vm.NewRuntime(cp, vm.Options{Name: "edge-snd", Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, snd
+}
+
+// Edge-case coverage for the transfer core beyond the happy paths in
+// core_test.go.
+
+func TestEmptyStream(t *testing.T) {
+	_, rcv, sky := testCluster(t)
+	var buf bytes.Buffer
+	w := sky.NewWriter(&buf)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(rcv, &buf).ReadObject(); err != io.EOF {
+		t.Errorf("empty stream read = %v, want EOF", err)
+	}
+}
+
+func TestDoubleCloseIsIdempotent(t *testing.T) {
+	_, _, sky := testCluster(t)
+	var buf bytes.Buffer
+	w := sky.NewWriter(&buf)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n {
+		t.Error("second Close wrote more bytes")
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	snd, _, sky := testCluster(t)
+	d := newDate(t, snd, 2020, 1, 1)
+	var buf bytes.Buffer
+	w := sky.NewWriter(&buf)
+	w.Close()
+	if err := w.WriteObject(d); err == nil {
+		t.Error("write after close succeeded")
+	}
+}
+
+func TestTruncatedStreamErrors(t *testing.T) {
+	snd, rcv, sky := testCluster(t)
+	d := newDate(t, snd, 2020, 2, 2)
+	var buf bytes.Buffer
+	w := sky.NewWriter(&buf)
+	if err := w.WriteObject(d); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	full := buf.Bytes()
+
+	// Any strict prefix must produce an error (or EOF for the empty
+	// prefix), never a bogus object.
+	for cut := 1; cut < len(full)-1; cut += 7 {
+		r := NewReader(rcv, bytes.NewReader(full[:cut]))
+		if _, err := r.ReadObject(); err == nil {
+			t.Fatalf("truncation at %d bytes read an object", cut)
+		}
+	}
+}
+
+func TestGarbageMagicRejected(t *testing.T) {
+	_, rcv, _ := testCluster(t)
+	r := NewReader(rcv, bytes.NewReader([]byte("NOTSKYWAYDATA___")))
+	if _, err := r.ReadObject(); err == nil {
+		t.Error("garbage stream accepted")
+	}
+}
+
+func TestOversizedObjectGetsOwnSegment(t *testing.T) {
+	snd, rcv, sky := testCluster(t)
+	// A primitive array far larger than the writer buffer.
+	ak := snd.MustLoad("double[]")
+	arr := snd.MustNewArray(ak, 4096) // 32 KiB payload
+	for i := 0; i < 4096; i++ {
+		snd.ArraySetDouble(arr, i, float64(i))
+	}
+	var buf bytes.Buffer
+	w := sky.NewWriter(&buf, WithBufferSize(1024))
+	if err := w.WriteObject(arr); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	got, err := NewReader(rcv, &buf).ReadObject()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i += 257 {
+		if rcv.ArrayGetDouble(got, i) != float64(i) {
+			t.Fatalf("elem %d corrupted", i)
+		}
+	}
+}
+
+func TestPhaseWraparoundClearsBaddrs(t *testing.T) {
+	snd, rcv, sky := testCluster(t)
+	d := newDate(t, snd, 1990, 6, 6)
+	dp := snd.Pin(d)
+	defer dp.Release()
+
+	// Drive the 8-bit phase counter all the way around.
+	for i := 0; i < 300; i++ {
+		sky.ShuffleStart()
+	}
+	var buf bytes.Buffer
+	w := sky.NewWriter(&buf)
+	if err := w.WriteObject(dp.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	got, err := NewReader(rcv, &buf).ReadObject()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dk := rcv.MustLoad("Date")
+	if rcv.GetInt(got, dk.FieldByName("month")) != 6 {
+		t.Error("transfer after wraparound corrupted")
+	}
+}
+
+func TestManyWritersSixteenBitStreamIDs(t *testing.T) {
+	// The baddr stream field is 16 bits; writer IDs wrap. Two writers
+	// whose IDs collide after a wrap must still not share buffer state
+	// because they are in different phases by then in practice — here we
+	// just verify allocation keeps working far past 2^16.
+	snd, _, sky := testCluster(t)
+	d := newDate(t, snd, 2001, 1, 1)
+	dp := snd.Pin(d)
+	defer dp.Release()
+	for i := 0; i < 70000; i += 7001 {
+		// Sample a few IDs across the range cheaply.
+		for j := 0; j < 7001; j++ {
+			_ = sky.NewWriter(io.Discard)
+		}
+		sky.ShuffleStart() // new phase invalidates prior claims
+		w := sky.NewWriter(io.Discard)
+		if err := w.WriteObject(dp.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStatsAcrossReceive(t *testing.T) {
+	snd, rcv, sky := testCluster(t)
+	d := newDate(t, snd, 2010, 10, 10)
+	var buf bytes.Buffer
+	w := sky.NewWriter(&buf)
+	if err := w.WriteObject(d); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	r := NewReader(rcv, &buf)
+	if _, err := r.ReadObject(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Objects != w.Objects {
+		t.Errorf("reader saw %d objects, writer sent %d", r.Objects, w.Objects)
+	}
+	if r.Bytes == 0 || uint64(r.Bytes) != w.Bytes {
+		t.Errorf("reader bytes %d, writer bytes %d", r.Bytes, w.Bytes)
+	}
+}
+
+func TestBufferSpaceExhaustion(t *testing.T) {
+	// A receiver with a tiny buffer space reports a helpful error rather
+	// than corrupting state.
+	cp := testClusterPath()
+	reg, snd := newSenderFor(t, cp)
+	rcvCfg := heap.DefaultConfig()
+	rcvCfg.BufferSize = 4 << 10
+	rcv, err := vm.NewRuntime(cp, vm.Options{Name: "tiny-rcv", Heap: rcvCfg, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sky := New(snd)
+
+	// Send more than 4 KiB of cells.
+	ck := snd.MustLoad("Cell")
+	head := snd.MustNew(ck)
+	hp := snd.Pin(head)
+	prev := snd.Pin(head)
+	for i := 0; i < 500; i++ {
+		c := snd.MustNew(ck)
+		snd.SetRef(prev.Addr(), ck.FieldByName("next"), c)
+		prev.Set(c)
+	}
+	prev.Release()
+	var buf bytes.Buffer
+	w := sky.NewWriter(&buf)
+	if err := w.WriteObject(hp.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	hp.Release()
+
+	if _, err := NewReader(rcv, &buf).ReadObject(); err == nil {
+		t.Error("buffer-space exhaustion not reported")
+	}
+}
+
+func TestBufferSpaceRecycledAcrossTransfers(t *testing.T) {
+	// Repeated transfer + Free must run indefinitely inside a bounded
+	// buffer space: freed chunks are reused (§3.2 explicit-free API).
+	cp := testClusterPath()
+	reg, snd := newSenderFor(t, cp)
+	rcvCfg := heap.DefaultConfig()
+	rcvCfg.BufferSize = 64 << 10
+	rcv, err := vm.NewRuntime(cp, vm.Options{Name: "recycle-rcv", Heap: rcvCfg, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sky := New(snd)
+	d := newDate(t, snd, 2024, 1, 1)
+	dp := snd.Pin(d)
+	defer dp.Release()
+
+	// Each round sends ~20 KiB; 100 rounds = ~2 MiB through a 64 KiB space.
+	ck := snd.MustLoad("Cell")
+	head := snd.MustNew(ck)
+	hp := snd.Pin(head)
+	prev := snd.Pin(head)
+	for i := 0; i < 500; i++ {
+		c := snd.MustNew(ck)
+		snd.SetRef(prev.Addr(), ck.FieldByName("next"), c)
+		prev.Set(c)
+	}
+	prev.Release()
+	defer hp.Release()
+
+	for round := 0; round < 100; round++ {
+		sky.ShuffleStart()
+		var buf bytes.Buffer
+		w := sky.NewWriter(&buf)
+		if err := w.WriteObject(hp.Addr()); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		w.Close()
+		r := NewReader(rcv, &buf)
+		if _, err := r.ReadObject(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		r.Free()
+	}
+}
+
+func TestHashSetTransferStaysValid(t *testing.T) {
+	// The §1 headline applied to sets: a transferred HashSet's layout is
+	// immediately valid because element hashcodes ride in the mark words.
+	snd, rcv, sky := testCluster(t)
+	s, err := snd.NewHashSet(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := snd.Pin(s)
+	defer sp.Release()
+	for i := 0; i < 40; i++ {
+		e := snd.MustNewString("elem")
+		eh := snd.Pin(e)
+		if _, err := snd.HashSetAdd(sp.Addr(), eh.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		eh.Release()
+	}
+
+	var buf bytes.Buffer
+	w := sky.NewWriter(&buf)
+	if err := w.WriteObject(sp.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	got, err := NewReader(rcv, &buf).ReadObject()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcv.HashSetLen(got) != 40 {
+		t.Fatalf("received set has %d elements", rcv.HashSetLen(got))
+	}
+	// Every received element must be found through the received table
+	// without any rehash.
+	n := 0
+	rcv.HashSetEach(got, func(e heap.Addr) {
+		if !rcv.HashSetContains(got, e) {
+			t.Fatal("received element not found via hash lookup")
+		}
+		n++
+	})
+	if n != 40 {
+		t.Fatalf("iterated %d elements", n)
+	}
+	setK := rcv.KlassOf(got)
+	if !rcv.HashMapValid(rcv.GetRef(got, setK.FieldByName("map"))) {
+		t.Error("received set's map needs a rehash")
+	}
+}

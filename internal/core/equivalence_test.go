@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"skyway/internal/heap"
+)
+
+// Property: compact mode and standard mode are observationally equivalent —
+// for any random graph, both decode to structurally identical results with
+// identical field values — while compact never uses more wire bytes.
+func TestCompactEquivalenceQuick(t *testing.T) {
+	snd, rcv, sky := testCluster(t)
+	ck := snd.MustLoad("Cell")
+	pk := snd.MustLoad("Pair")
+	vF, nF := ck.FieldByName("v"), ck.FieldByName("next")
+
+	f := func(vals []float64, links []uint8, hashSel uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 25 {
+			vals = vals[:25]
+		}
+		handles := make([]interface {
+			Addr() heap.Addr
+			Release()
+		}, len(vals))
+		for i, v := range vals {
+			c := snd.MustNew(ck)
+			snd.SetDouble(c, vF, v)
+			handles[i] = snd.Pin(c)
+		}
+		defer func() {
+			for _, h := range handles {
+				h.Release()
+			}
+		}()
+		for i := range handles {
+			if len(links) == 0 {
+				break
+			}
+			tgt := int(links[i%len(links)]) % len(handles)
+			snd.SetRef(handles[i].Addr(), nF, handles[tgt].Addr())
+		}
+		// Hash a subset so both hashed and unhashed marks travel.
+		for i := range handles {
+			if (uint8(i)+hashSel)%3 == 0 {
+				snd.HashCode(handles[i].Addr())
+			}
+		}
+		root := snd.MustNew(pk)
+		snd.SetRef(root, pk.FieldByName("a"), handles[0].Addr())
+		snd.SetRef(root, pk.FieldByName("b"), handles[len(handles)-1].Addr())
+		rootPin := snd.Pin(root)
+		defer rootPin.Release()
+
+		transfer := func(opts ...WriterOption) (heap.Addr, int, bool) {
+			sky.ShuffleStart()
+			var buf bytes.Buffer
+			w := sky.NewWriter(&buf, append(opts, WithBufferSize(256))...)
+			if err := w.WriteObject(rootPin.Addr()); err != nil {
+				return heap.Null, 0, false
+			}
+			if err := w.Close(); err != nil {
+				return heap.Null, 0, false
+			}
+			n := buf.Len()
+			got, err := NewReader(rcv, &buf).ReadObject()
+			return got, n, err == nil
+		}
+		stdRoot, stdBytes, ok := transfer()
+		if !ok {
+			return false
+		}
+		cmpRoot, cmpBytes, ok := transfer(WithCompactHeaders())
+		if !ok {
+			return false
+		}
+		if cmpBytes > stdBytes {
+			return false
+		}
+
+		// Structural lockstep walk comparing values and cached hashes.
+		type pairT struct{ a, b heap.Addr }
+		seen := make(map[pairT]bool)
+		rck := rcv.MustLoad("Cell")
+		rpk := rcv.MustLoad("Pair")
+		var walk func(a, b heap.Addr, depth int) bool
+		walk = func(a, b heap.Addr, depth int) bool {
+			if depth > 120 {
+				return true
+			}
+			if (a == heap.Null) != (b == heap.Null) {
+				return false
+			}
+			if a == heap.Null || seen[pairT{a, b}] {
+				return true
+			}
+			seen[pairT{a, b}] = true
+			if rcv.KlassOf(a) != rcv.KlassOf(b) {
+				return false
+			}
+			ha, oka := rcv.Heap.HashOf(a)
+			hb, okb := rcv.Heap.HashOf(b)
+			if oka != okb || ha != hb {
+				return false
+			}
+			if rcv.KlassOf(a) == rck {
+				if rcv.GetDouble(a, rck.FieldByName("v")) != rcv.GetDouble(b, rck.FieldByName("v")) {
+					return false
+				}
+				return walk(rcv.GetRef(a, rck.FieldByName("next")), rcv.GetRef(b, rck.FieldByName("next")), depth+1)
+			}
+			return walk(rcv.GetRef(a, rpk.FieldByName("a")), rcv.GetRef(b, rpk.FieldByName("a")), depth+1) &&
+				walk(rcv.GetRef(a, rpk.FieldByName("b")), rcv.GetRef(b, rpk.FieldByName("b")), depth+1)
+		}
+		return walk(stdRoot, cmpRoot, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"skyway/internal/gc"
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+	"skyway/internal/vm"
+)
+
+// Reader receives a Skyway stream into the runtime's heap: each incoming
+// segment is copied verbatim into a chunk allocated in the heap's pinned
+// buffer space, and when a top mark arrives the new chunks are absolutized
+// in one linear scan — type IDs become klass words, relative addresses
+// become heap addresses — after which the objects are immediately usable
+// (§4.3). Chunks are registered with the collector as pinned, immortal
+// ranges until Free is called.
+type Reader struct {
+	rt *vm.Runtime
+	r  *bufio.Reader
+
+	headerRead bool
+	streamID   uint16
+	compact    bool
+
+	chunks []chunk // ascending startRel; the relative→absolute table
+	parsed int     // chunks[:parsed] are absolutized
+
+	pins []*gc.PinnedRange
+
+	// One-entry klass cache: shuffle streams carry long runs of one
+	// record class, so the TID→klass map lookup usually short-circuits.
+	lastTID   int32
+	lastKlass *klass.Klass
+
+	// Objects and Bytes report per-reader transfer volume.
+	Objects uint64
+	Bytes   uint64
+}
+
+type chunk struct {
+	startRel uint64
+	base     heap.Addr
+	size     uint32
+	// done tracks absolutization progress within the chunk: a segment can
+	// end mid-graph (the sender flushed because its output buffer filled,
+	// §4.2 streaming), leaving objects whose references point beyond the
+	// received data; those are deferred until more segments arrive — the
+	// paper's "block the computation on buffers into which data is being
+	// streamed until the absolutization pass is done" (§4.3).
+	done uint32
+}
+
+// NewReader opens a Skyway object input stream over r for runtime rt.
+func NewReader(rt *vm.Runtime, r io.Reader) *Reader {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 16<<10)
+	}
+	return &Reader{rt: rt, r: br}
+}
+
+// ReadObject returns the next transferred root object. It consumes frames
+// until a top mark arrives, absolutizing newly received chunks. io.EOF is
+// returned at end of stream.
+func (rd *Reader) ReadObject() (heap.Addr, error) {
+	if !rd.headerRead {
+		target, sid, compact, err := readHeader(rd.r)
+		if err != nil {
+			return heap.Null, err
+		}
+		if target != rd.rt.Heap.Layout() {
+			return heap.Null, fmt.Errorf("skyway: stream was adjusted for layout %+v but receiver heap uses %+v", target, rd.rt.Heap.Layout())
+		}
+		rd.streamID = sid
+		rd.compact = compact
+		rd.headerRead = true
+	}
+	for {
+		tag, err := rd.r.ReadByte()
+		if err != nil {
+			return heap.Null, fmt.Errorf("skyway: reading frame: %w", err)
+		}
+		switch tag {
+		case frameSegment:
+			if err := rd.readSegment(); err != nil {
+				return heap.Null, err
+			}
+		case frameCompact:
+			if err := rd.readCompactSegment(); err != nil {
+				return heap.Null, err
+			}
+		case frameTop:
+			var b [8]byte
+			if _, err := io.ReadFull(rd.r, b[:]); err != nil {
+				return heap.Null, err
+			}
+			if err := rd.absolutize(); err != nil {
+				return heap.Null, err
+			}
+			rel := binary.BigEndian.Uint64(b[:])
+			if rel == 0 {
+				return heap.Null, nil
+			}
+			return rd.translate(rel)
+		case frameEnd:
+			return heap.Null, io.EOF
+		default:
+			return heap.Null, fmt.Errorf("skyway: unknown frame tag %#x", tag)
+		}
+	}
+}
+
+// ReadAll reads every remaining root in the stream.
+func (rd *Reader) ReadAll() ([]heap.Addr, error) {
+	var out []heap.Addr
+	for {
+		a, err := rd.ReadObject()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, a)
+	}
+}
+
+// readSegment allocates an input-buffer chunk and copies the segment into
+// it. The chunk is pinned immediately (unparsed) so the collector treats
+// the raw bytes as opaque.
+func (rd *Reader) readSegment() error {
+	var lenb [4]byte
+	if _, err := io.ReadFull(rd.r, lenb[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(lenb[:])
+	if n == 0 || n%klass.WordSize != 0 {
+		return fmt.Errorf("skyway: bad segment length %d", n)
+	}
+	base := rd.rt.Heap.AllocBuffer(n)
+	if base == heap.Null {
+		return fmt.Errorf("skyway: input-buffer space exhausted allocating %d-byte chunk (free unused buffers or enlarge Config.BufferSize)", n)
+	}
+	tmp := make([]byte, n)
+	if _, err := io.ReadFull(rd.r, tmp); err != nil {
+		return err
+	}
+	rd.rt.Heap.CopyIn(base, n, tmp)
+
+	startRel := uint64(relBias)
+	if len(rd.chunks) > 0 {
+		last := rd.chunks[len(rd.chunks)-1]
+		startRel = last.startRel + uint64(last.size)
+	}
+	rd.chunks = append(rd.chunks, chunk{startRel: startRel, base: base, size: n})
+	rd.pins = append(rd.pins, rd.rt.GC.Pin(base, n))
+	rd.Bytes += uint64(n)
+	return nil
+}
+
+// readCompactSegment receives a compact segment (§5.2 future-work mode):
+// the wire carries compressed records; the chunk is allocated at the
+// declared inflated size and each record is re-expanded into the standard
+// in-heap image before the shared absolutization pass runs over it.
+func (rd *Reader) readCompactSegment() error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(rd.r, hdr[:]); err != nil {
+		return err
+	}
+	phys := binary.BigEndian.Uint32(hdr[:4])
+	decoded := binary.BigEndian.Uint32(hdr[4:])
+	if decoded == 0 || decoded%klass.WordSize != 0 || phys == 0 {
+		return fmt.Errorf("skyway: bad compact segment lengths %d/%d", phys, decoded)
+	}
+	base := rd.rt.Heap.AllocBuffer(decoded)
+	if base == heap.Null {
+		return fmt.Errorf("skyway: input-buffer space exhausted allocating %d-byte chunk (free unused buffers or enlarge Config.BufferSize)", decoded)
+	}
+	buf := make([]byte, phys)
+	if _, err := io.ReadFull(rd.r, buf); err != nil {
+		return err
+	}
+	// Pin before decoding so a decode error cannot leave an unaccounted
+	// raw range in buffer space.
+	pin := rd.rt.GC.Pin(base, decoded)
+	if err := rd.decodeCompactSegment(buf, base, decoded); err != nil {
+		rd.rt.GC.Unpin(pin)
+		return err
+	}
+	startRel := uint64(relBias)
+	if len(rd.chunks) > 0 {
+		last := rd.chunks[len(rd.chunks)-1]
+		startRel = last.startRel + uint64(last.size)
+	}
+	rd.chunks = append(rd.chunks, chunk{startRel: startRel, base: base, size: decoded})
+	rd.pins = append(rd.pins, pin)
+	rd.Bytes += uint64(decoded)
+	return nil
+}
+
+// translate maps a (biased) relative address to its heap address using the
+// chunk table — the paper's two-step translation for buffers that span
+// multiple, possibly underfilled chunks.
+func (rd *Reader) translate(rel uint64) (heap.Addr, error) {
+	i := sort.Search(len(rd.chunks), func(i int) bool { return rd.chunks[i].startRel > rel }) - 1
+	if i < 0 || rel-rd.chunks[i].startRel >= uint64(rd.chunks[i].size) {
+		return heap.Null, fmt.Errorf("skyway: relative address %#x outside received chunks", rel)
+	}
+	return rd.chunks[i].base + heap.Addr(rel-rd.chunks[i].startRel), nil
+}
+
+// received returns the end of the received relative address space.
+func (rd *Reader) received() uint64 {
+	if len(rd.chunks) == 0 {
+		return relBias
+	}
+	last := rd.chunks[len(rd.chunks)-1]
+	return last.startRel + uint64(last.size)
+}
+
+// absolutize performs the linear scan over the not-yet-parsed chunk suffix:
+// resolve each object's global type ID to a local klass (loading the class
+// on demand), rewrite the klass word, absolutize every reference slot,
+// apply registered field updates, and dirty the card table so the collector
+// sees pointers out of the buffer (§4.3). The scan stops at the first
+// object with a reference into data not yet received (an in-flight graph)
+// and resumes from there on the next call.
+func (rd *Reader) absolutize() error {
+	rt := rd.rt
+	h := rt.Heap
+	limit := rd.received()
+	for ; rd.parsed < len(rd.chunks); rd.parsed++ {
+		c := &rd.chunks[rd.parsed]
+		a := c.base + heap.Addr(c.done)
+		end := c.base + heap.Addr(c.size)
+		for a < end {
+			tid := int32(uint32(h.KlassWord(a)))
+			k := rd.lastKlass
+			if k == nil || tid != rd.lastTID {
+				var err error
+				k, err = rt.KlassByTID(tid)
+				if err != nil {
+					return fmt.Errorf("skyway: absolutize at %#x: %w", uint64(a), err)
+				}
+				rd.lastTID, rd.lastKlass = tid, k
+			}
+			size := k.Size
+			if k.IsArray {
+				n := h.ArrayLen(a)
+				if n < 0 || uint64(n) > uint64(c.size) {
+					return fmt.Errorf("skyway: corrupt stream: array length %d at %#x", n, uint64(a))
+				}
+				size = k.InstanceBytes(n)
+			}
+			if uint64(a)+uint64(size) > uint64(end) {
+				return fmt.Errorf("skyway: corrupt stream: object at %#x overruns its chunk", uint64(a))
+			}
+
+			// Collect the object's reference slot offsets.
+			var refBase uint32
+			var refCount int
+			var refOffsets []uint32
+			if k.IsArray {
+				if k.Elem == klass.Ref {
+					refBase = h.Layout().ArrayHeaderSize()
+					refCount = h.ArrayLen(a)
+				}
+			} else {
+				refOffsets = k.RefOffsets
+				refCount = len(refOffsets)
+			}
+			slotOff := func(i int) uint32 {
+				if refOffsets != nil {
+					return refOffsets[i]
+				}
+				return refBase + uint32(i)*8
+			}
+
+			// First pass: verify every reference is resolvable; a
+			// forward reference beyond the received data defers the
+			// rest of the scan (nothing mutated yet).
+			for i := 0; i < refCount; i++ {
+				if rel := h.Load(a, slotOff(i), klass.Ref); rel != 0 && rel >= limit {
+					c.done = uint32(a - c.base)
+					return nil
+				}
+			}
+
+			// Commit: install the klass word, absolutize references,
+			// apply field updates.
+			h.SetKlassWord(a, uint64(k.LID))
+			for i := 0; i < refCount; i++ {
+				off := slotOff(i)
+				rel := h.Load(a, off, klass.Ref)
+				if rel == 0 {
+					continue
+				}
+				abs, err := rd.translate(rel)
+				if err != nil {
+					return err
+				}
+				h.Store(a, off, klass.Ref, uint64(abs))
+			}
+			if !k.IsArray {
+				for _, u := range rt.UpdatesFor(k) {
+					h.Store(a, u.Field.Offset, u.Field.Kind, u.Fn(rt, a))
+				}
+			}
+			rd.Objects++
+			a += heap.Addr(size)
+			c.done = uint32(a - c.base)
+		}
+		// The chunk is now walkable; tell the collector and dirty its
+		// cards so the next scavenge scans it for young pointers.
+		rd.pins[rd.parsed].Parsed = true
+		h.DirtyRange(c.base, c.size)
+	}
+	return nil
+}
+
+// Free releases every input chunk this reader created. The objects inside
+// become garbage (unless reachable some other way, which the application
+// must not assume). Mirrors the explicit buffer-free API of §3.2.
+func (rd *Reader) Free() {
+	for _, p := range rd.pins {
+		rd.rt.GC.Unpin(p)
+	}
+	rd.pins = nil
+	rd.chunks = nil
+	rd.parsed = 0
+}

@@ -1,0 +1,131 @@
+// Package core implements Skyway's data transfer (§3, §4): the sender-side
+// object-graph copy with pointer relativization (Algorithm 2), the streaming
+// buffer protocol, and the receiver-side chunked input buffers with linear
+// absolutization (§4.3).
+//
+// A Skyway value is the per-runtime service state: the shuffle-phase counter
+// driven by ShuffleStart (§4.2 "Multi-phase data shuffling") and the stream
+// ID allocator used to disambiguate concurrent sender threads sharing
+// objects (§4.2 "Support for Threads").
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"skyway/internal/vm"
+)
+
+// Skyway is the per-runtime transfer service.
+type Skyway struct {
+	rt *vm.Runtime
+
+	mu         sync.Mutex
+	sid        uint32 // current shuffle phase ID (8-bit, atomically read on the hot path)
+	nextStream uint32 // stream/thread ID allocator (16-bit space)
+
+	stats Stats
+}
+
+// Stats aggregates transfer statistics across a runtime's streams.
+type Stats struct {
+	ObjectsSent     uint64
+	BytesSent       uint64
+	ObjectsReceived uint64
+	BytesReceived   uint64
+	// Byte composition of sent data, for the §5.2 "extra bytes" analysis:
+	// headers (incl. array length words), padding, and pointer slots.
+	HeaderBytes  uint64
+	PaddingBytes uint64
+	PointerBytes uint64
+	// OverflowHits counts shared-object visits resolved through the
+	// thread-local hash table instead of the baddr word.
+	OverflowHits uint64
+}
+
+// New creates the Skyway service for a runtime.
+func New(rt *vm.Runtime) *Skyway {
+	return &Skyway{rt: rt, sid: 1, nextStream: 0}
+}
+
+// Runtime returns the runtime the service is bound to.
+func (s *Skyway) Runtime() *vm.Runtime { return s.rt }
+
+// ShuffleStart begins a new shuffling phase (§3.3): baddr bookkeeping from
+// the previous phase becomes stale wholesale, so output buffers are
+// logically cleared without touching any object. The 8-bit phase space
+// wraps; on wrap every live baddr word is cleared so phase 1 starts clean.
+func (s *Skyway) ShuffleStart() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := uint8(atomic.LoadUint32(&s.sid)) + 1
+	if next == 0 {
+		s.clearAllBaddrs()
+		next = 1
+	}
+	atomic.StoreUint32(&s.sid, uint32(next))
+}
+
+// Phase returns the current shuffle phase ID.
+func (s *Skyway) Phase() uint8 { return uint8(atomic.LoadUint32(&s.sid)) }
+
+// Snapshot returns a copy of the accumulated statistics.
+func (s *Skyway) Snapshot() Stats {
+	return Stats{
+		ObjectsSent:     atomic.LoadUint64(&s.stats.ObjectsSent),
+		BytesSent:       atomic.LoadUint64(&s.stats.BytesSent),
+		ObjectsReceived: atomic.LoadUint64(&s.stats.ObjectsReceived),
+		BytesReceived:   atomic.LoadUint64(&s.stats.BytesReceived),
+		HeaderBytes:     atomic.LoadUint64(&s.stats.HeaderBytes),
+		PaddingBytes:    atomic.LoadUint64(&s.stats.PaddingBytes),
+		PointerBytes:    atomic.LoadUint64(&s.stats.PointerBytes),
+		OverflowHits:    atomic.LoadUint64(&s.stats.OverflowHits),
+	}
+}
+
+func (s *Skyway) allocStreamID() uint16 {
+	id := atomic.AddUint32(&s.nextStream, 1)
+	return uint16(id) // 16-bit wrap matches the 2-byte baddr field
+}
+
+// clearAllBaddrs walks every live object and zeroes its baddr word. Called
+// only on 8-bit phase wraparound (every 255 shuffles).
+func (s *Skyway) clearAllBaddrs() {
+	h := s.rt.Heap
+	if !h.Layout().Baddr {
+		return
+	}
+	clearRegion := func(start, top uint64) {
+		a := start
+		for a < top {
+			size := s.rt.ObjectSize(addr(a))
+			h.SetBaddr(addr(a), 0)
+			a += uint64(size)
+		}
+	}
+	clearRegion(uint64(h.Eden.Start), uint64(h.Eden.Top))
+	clearRegion(uint64(h.From.Start), uint64(h.From.Top))
+	clearRegion(uint64(h.Old.Start), uint64(h.Old.Top))
+	// Buffer space may contain unparsed chunks; parsed objects there were
+	// received with baddr already zero and writers reset them per phase,
+	// so chunks are left untouched.
+}
+
+// --- baddr word encoding (§4.2) -----------------------------------------
+//
+//	bits 56..63  phase ID (sID)
+//	bits 40..55  stream/thread ID
+//	bits  0..39  relative buffer address (5 bytes)
+const (
+	baddrRelMask    = (uint64(1) << 40) - 1
+	baddrStreamMask = uint64(0xFFFF) << 40
+	baddrPhaseShift = 56
+)
+
+func composeBaddr(sid uint8, stream uint16, rel uint64) uint64 {
+	return uint64(sid)<<baddrPhaseShift | uint64(stream)<<40 | rel&baddrRelMask
+}
+
+func baddrPhase(v uint64) uint8   { return uint8(v >> baddrPhaseShift) }
+func baddrStream(v uint64) uint16 { return uint16((v & baddrStreamMask) >> 40) }
+func baddrRel(v uint64) uint64    { return v & baddrRelMask }

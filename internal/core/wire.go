@@ -1,0 +1,73 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+)
+
+func addr(a uint64) heap.Addr { return heap.Addr(a) }
+
+// Wire protocol. A stream opens with a fixed header and then carries frames:
+//
+//	header := "SKYW" ver(u8) flags(u8) streamID(u16 BE)
+//	frame  := 'S' len(u32 BE) bytes      -- a flushed output-buffer segment;
+//	                                        the receiver turns it into one
+//	                                        input-buffer chunk, so objects
+//	                                        never span chunks (§4.3)
+//	        | 'T' rel(u64 BE)            -- top mark: the relative address of
+//	                                        a root object (§4.2 "Root Object
+//	                                        Recognition"); rel 0 is null
+//	        | 'E'                        -- end of stream
+//
+// flags bit 0 records whether the object images carry a baddr header word,
+// i.e. the receiver layout the sender adjusted the clones to (§3.1).
+const (
+	wireMagic   = "SKYW"
+	wireVersion = 1
+
+	frameSegment = 'S'
+	frameCompact = 'C' // compact segment: physLen(u32) decodedLen(u32) bytes
+	frameTop     = 'T'
+	frameEnd     = 'E'
+
+	flagBaddr   = 1 << 0
+	flagCompact = 1 << 1
+)
+
+// relBias offsets all relative addresses by one word so that relative
+// address 0 can keep meaning null.
+const relBias = klass.WordSize
+
+func writeHeader(w io.Writer, target klass.Layout, streamID uint16, compact bool) error {
+	var h [8]byte
+	copy(h[:4], wireMagic)
+	h[4] = wireVersion
+	if target.Baddr {
+		h[5] |= flagBaddr
+	}
+	if compact {
+		h[5] |= flagCompact
+	}
+	binary.BigEndian.PutUint16(h[6:], streamID)
+	_, err := w.Write(h[:])
+	return err
+}
+
+func readHeader(r io.Reader) (target klass.Layout, streamID uint16, compact bool, err error) {
+	var h [8]byte
+	if _, err = io.ReadFull(r, h[:]); err != nil {
+		return target, 0, false, fmt.Errorf("skyway: reading stream header: %w", err)
+	}
+	if string(h[:4]) != wireMagic {
+		return target, 0, false, fmt.Errorf("skyway: bad stream magic %q", h[:4])
+	}
+	if h[4] != wireVersion {
+		return target, 0, false, fmt.Errorf("skyway: unsupported stream version %d", h[4])
+	}
+	target.Baddr = h[5]&flagBaddr != 0
+	return target, binary.BigEndian.Uint16(h[6:]), h[5]&flagCompact != 0, nil
+}

@@ -1,0 +1,604 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+)
+
+// DefaultBufferSize is the default output-buffer capacity. Output buffers
+// live in native (non-heap) memory — here an ordinary Go byte slice — so the
+// collector can never reclaim objects that are still being streamed (§3.2).
+const DefaultBufferSize = 256 << 10
+
+// Writer streams object graphs into a destination, implementing the sender
+// side of Skyway: a BFS "GC-like" traversal that clones every reachable
+// object into the output buffer, relativizes its reference fields, rewrites
+// its klass word to the global type ID, and flushes the buffer in segments
+// as it fills (Algorithm 2).
+type Writer struct {
+	sky *Skyway
+	w   io.Writer
+
+	streamID uint16
+	sid      uint8 // shuffle phase the writer was opened in
+	target   klass.Layout
+	// targetKlass caches source-klass → target-layout klass for
+	// heterogeneous transfers (§3.1); nil when layouts match.
+	targetKlass map[int32]*klass.Klass
+
+	buf       []byte
+	flushed   uint64 // ob.flushedBytes (biased: starts at relBias)
+	allocable uint64 // ob.allocableAddr (biased)
+
+	// pendingTops queues top marks until the next segment flush so that
+	// one root per WriteObject does not force one segment per root; the
+	// paper writes top marks into the buffer for the same reason.
+	pendingTops []uint64
+
+	// Local stat accumulators, folded into the shared service stats on
+	// Flush/Close (hot-loop atomics are expensive).
+	headerB, padB, ptrB, overflowHits uint64
+	statObjects, statBytes            uint64
+
+	// payloadB caches per-klass unpadded payload sizes for the byte-
+	// composition accounting.
+	payloadB map[int32]uint64
+
+	// overflow is the thread-local visited table used when an object's
+	// baddr word is owned by another stream this phase, or when the heap
+	// layout has no baddr word at all (the paper's hash-table fallback).
+	overflow map[heap.Addr]uint64
+
+	gray     []grayRec
+	grayHead int
+
+	headerWritten bool
+	closed        bool
+	growBuf       bool // buffer may still grow toward DefaultBufferSize
+
+	// Compact mode (§5.2 future work): headers/padding are compressed on
+	// the wire; decodedInBuf tracks how many logical (inflated) bytes the
+	// physical buffer corresponds to.
+	compact      bool
+	scratch      []byte
+	decodedInBuf uint32
+
+	// Objects and Bytes report per-writer transfer volume.
+	Objects uint64
+	Bytes   uint64
+}
+
+type grayRec struct {
+	obj  heap.Addr
+	rel  uint64
+	k    *klass.Klass
+	size uint32
+}
+
+// WriterOption configures a Writer.
+type WriterOption func(*Writer)
+
+// WithBufferSize sets the output-buffer capacity in bytes.
+func WithBufferSize(n int) WriterOption {
+	return func(w *Writer) { w.buf = make([]byte, 0, n) }
+}
+
+// WithTargetLayout makes the writer emit object images in a different
+// header geometry than the sender heap's — the paper's heterogeneous
+// cluster support, where format adjustment costs fall on the sender only.
+func WithTargetLayout(l klass.Layout) WriterOption {
+	return func(w *Writer) { w.target = l }
+}
+
+// WithCompactHeaders enables the compact wire encoding: reconstructible
+// header words (klass pointer, unhashed mark, baddr) and padding are
+// compressed out of each object record and re-inflated on the receiver —
+// the header/padding compression the paper proposes as future work (§5.2).
+// Trades sender and receiver CPU for wire bytes.
+func WithCompactHeaders() WriterOption {
+	return func(w *Writer) { w.compact = true }
+}
+
+// NewWriter opens a Skyway object output stream over w.
+func (s *Skyway) NewWriter(w io.Writer, opts ...WriterOption) *Writer {
+	wr := &Writer{
+		sky:      s,
+		w:        w,
+		streamID: s.allocStreamID(),
+		sid:      s.Phase(),
+		target:   s.rt.Heap.Layout(),
+
+		flushed:   relBias,
+		allocable: relBias,
+	}
+	for _, o := range opts {
+		o(wr)
+	}
+	if wr.buf == nil {
+		// Start small and grow geometrically up to DefaultBufferSize:
+		// short streams (one record per stream, as in JSBS) stay cheap
+		// while long shuffle streams still flush in large segments.
+		wr.buf = make([]byte, 0, 4<<10)
+		wr.growBuf = true
+	}
+	if wr.target != s.rt.Heap.Layout() {
+		wr.targetKlass = make(map[int32]*klass.Klass)
+	}
+	return wr
+}
+
+// visitedOverflow returns the lazily built hash-table fallback.
+func (w *Writer) visitedOverflow() map[heap.Addr]uint64 {
+	if w.overflow == nil {
+		w.overflow = make(map[heap.Addr]uint64)
+	}
+	return w.overflow
+}
+
+// WriteObject transfers the object graph reachable from root. If root was
+// already copied in the current shuffle phase (by this writer), only a
+// backward reference (top mark) is emitted. A Null root writes a null top
+// mark.
+func (w *Writer) WriteObject(root heap.Addr) error {
+	if w.closed {
+		return fmt.Errorf("skyway: write on closed stream")
+	}
+	if w.sky.Phase() != w.sid {
+		return fmt.Errorf("skyway: writer opened in shuffle phase %d used in phase %d; open a new writer after ShuffleStart", w.sid, w.sky.Phase())
+	}
+	if !w.headerWritten {
+		if err := writeHeader(w.w, w.target, w.streamID, w.compact); err != nil {
+			return err
+		}
+		w.headerWritten = true
+	}
+	if root == heap.Null {
+		return w.writeTop(0)
+	}
+	rel, visited, err := w.visit(root)
+	if err != nil {
+		return err
+	}
+	if visited {
+		// WRITEBACKWARDREFERENCE: the graph is already in the buffer.
+		return w.writeTop(rel)
+	}
+	for w.grayHead < len(w.gray) {
+		rec := w.gray[w.grayHead]
+		w.grayHead++
+		if err := w.cloneInBuffer(&rec); err != nil {
+			return err
+		}
+	}
+	w.gray = w.gray[:0]
+	w.grayHead = 0
+	return w.writeTop(rel)
+}
+
+// visit returns the relative buffer address of obj, recording it as visited
+// and queueing it for cloning when seen for the first time this phase.
+func (w *Writer) visit(obj heap.Addr) (rel uint64, already bool, err error) {
+	h := w.sky.rt.Heap
+	sid := w.sid
+	if !h.Layout().Baddr {
+		// No baddr header word on this heap (vanilla layout): every
+		// visit goes through the hash table — the design the baddr
+		// field exists to avoid (ablation: AblationBaddr).
+		if rel, ok := w.visitedOverflow()[obj]; ok {
+			return rel, true, nil
+		}
+		rel = w.allocable
+		w.overflow[obj] = rel
+		if err := w.enqueue(obj, rel); err != nil {
+			return 0, false, err
+		}
+		return rel, false, nil
+	}
+	for {
+		v := h.AtomicLoadWord(obj + heap.Addr(h.Layout().OffBaddr()))
+		if baddrPhase(v) == sid {
+			if baddrStream(v) == w.streamID {
+				return baddrRel(v), true, nil
+			}
+			// Claimed by another stream this phase: fall back to
+			// the thread-local table (§4.2 Support for Threads).
+			w.overflowHits++
+			if rel, ok := w.visitedOverflow()[obj]; ok {
+				return rel, true, nil
+			}
+			rel = w.allocable
+			w.overflow[obj] = rel
+			if err := w.enqueue(obj, rel); err != nil {
+				return 0, false, err
+			}
+			return rel, false, nil
+		}
+		// Stale phase: try to claim the baddr word.
+		rel = w.allocable
+		if h.CasBaddr(obj, v, composeBaddr(sid, w.streamID, rel)) {
+			if err := w.enqueue(obj, rel); err != nil {
+				return 0, false, err
+			}
+			return rel, false, nil
+		}
+		// Lost the race; retry the load.
+	}
+}
+
+func (w *Writer) enqueue(obj heap.Addr, rel uint64) error {
+	rt := w.sky.rt
+	k := rt.KlassOf(obj)
+	size, err := w.targetSize(obj, k)
+	if err != nil {
+		return err
+	}
+	if rel != w.allocable {
+		panic("skyway: gray queue out of order")
+	}
+	w.allocable += uint64(size)
+	if w.allocable-relBias > baddrRelMask {
+		return fmt.Errorf("skyway: stream exceeded 1 TiB relative address space")
+	}
+	w.gray = append(w.gray, grayRec{obj: obj, rel: rel, k: k, size: size})
+	return nil
+}
+
+// targetSize returns the clone's size under the target layout.
+func (w *Writer) targetSize(obj heap.Addr, k *klass.Klass) (uint32, error) {
+	rt := w.sky.rt
+	if w.targetKlass == nil {
+		if !k.IsArray {
+			return k.Size, nil
+		}
+		return k.InstanceBytes(rt.Heap.ArrayLen(obj)), nil
+	}
+	tk, err := w.targetKlassOf(k)
+	if err != nil {
+		return 0, err
+	}
+	if tk.IsArray {
+		return tk.InstanceBytes(rt.Heap.ArrayLen(obj)), nil
+	}
+	return tk.Size, nil
+}
+
+func (w *Writer) targetKlassOf(k *klass.Klass) (*klass.Klass, error) {
+	if tk, ok := w.targetKlass[k.LID]; ok {
+		return tk, nil
+	}
+	rt := w.sky.rt
+	var tk *klass.Klass
+	var err error
+	if k.IsArray {
+		tk, err = klass.ResolveArray(k.Name, w.target)
+	} else {
+		var super *klass.Klass
+		def := rt.ClassPath().Lookup(k.Name)
+		if def == nil {
+			return nil, fmt.Errorf("skyway: class %s missing from classpath", k.Name)
+		}
+		if def.Super != "" {
+			sk := rt.KlassByName(def.Super)
+			if sk == nil {
+				return nil, fmt.Errorf("skyway: superclass %s of %s not loaded", def.Super, k.Name)
+			}
+			super, err = w.targetKlassOf(sk)
+			if err != nil {
+				return nil, err
+			}
+		}
+		tk, err = klass.ResolveLayout(def, super, w.target)
+	}
+	if err != nil {
+		return nil, err
+	}
+	tk.TID = k.TID
+	w.targetKlass[k.LID] = tk
+	return tk, nil
+}
+
+// cloneInBuffer copies the gray record's object into the output buffer at
+// its relative address (CLONEINBUFFER + header update + reference
+// relativization, Algorithm 2 lines 10-27).
+func (w *Writer) cloneInBuffer(rec *grayRec) error {
+	rt := w.sky.rt
+	h := rt.Heap
+	obj, k, size := rec.obj, rec.k, rec.size
+	if k.TID < 0 {
+		return fmt.Errorf("skyway: class %s has no global type ID (runtime %s is not attached to a registry)", k.Name, rt.Name)
+	}
+
+	// need over-estimates the physical bytes this object adds to the
+	// buffer; in compact mode records can carry up to ~16 bytes of
+	// framing beyond the payload.
+	need := int(size)
+	if w.compact {
+		need += 16
+	}
+	if len(w.buf)+need > cap(w.buf) {
+		if w.growBuf && cap(w.buf) < DefaultBufferSize {
+			// Grow in place instead of flushing a tiny segment.
+			next := cap(w.buf) * 2
+			for next < len(w.buf)+need {
+				next *= 2
+			}
+			if next > DefaultBufferSize && len(w.buf)+need <= DefaultBufferSize {
+				next = DefaultBufferSize
+			}
+			bigger := make([]byte, len(w.buf), next)
+			copy(bigger, w.buf)
+			w.buf = bigger
+		}
+	}
+	if len(w.buf)+need > cap(w.buf) {
+		if err := w.flushSegment(); err != nil {
+			return err
+		}
+		if need > cap(w.buf) {
+			// Oversized object: give it a dedicated segment.
+			w.buf = make([]byte, 0, need)
+		}
+	}
+
+	var img []byte
+	if w.compact {
+		// Build the standard image in scratch; it is compacted onto
+		// the wire after the header/reference fixups below.
+		if cap(w.scratch) < int(size) {
+			w.scratch = make([]byte, size)
+		}
+		img = w.scratch[:size]
+	} else {
+		if rec.rel-w.flushed != uint64(len(w.buf)) {
+			panic("skyway: buffer position diverged from relative address")
+		}
+		pos := len(w.buf)
+		w.buf = w.buf[:pos+int(size)]
+		img = w.buf[pos : pos+int(size)]
+	}
+
+	srcL := h.Layout()
+	if w.targetKlass == nil {
+		// Same layout: whole-object copy, then patch the header and
+		// reference slots in place. This is Skyway's fast path — no
+		// per-field access for primitive data.
+		h.CopyOut(obj, size, img)
+	} else {
+		if err := w.cloneCrossLayout(obj, k, img); err != nil {
+			return err
+		}
+	}
+
+	// Header update: reset GC/lock/age bits preserving the hashcode,
+	// install the global type ID, clear the clone's baddr.
+	binary.LittleEndian.PutUint64(img[klass.OffMark:], heap.ResetTransientMarkBits(h.Mark(obj)))
+	binary.LittleEndian.PutUint64(img[klass.OffKlass:], uint64(uint32(k.TID)))
+	if w.target.Baddr {
+		binary.LittleEndian.PutUint64(img[w.target.OffBaddr():], 0)
+	}
+
+	// Relativize references.
+	var ptrSlots uint64
+	if k.IsArray {
+		if k.Elem == klass.Ref {
+			n := h.ArrayLen(obj)
+			srcBase := srcL.ArrayHeaderSize()
+			dstBase := w.target.ArrayHeaderSize()
+			ptrSlots = uint64(n)
+			for i := 0; i < n; i++ {
+				if err := w.relativize(img, obj, srcBase+uint32(i)*8, dstBase+uint32(i)*8); err != nil {
+					return err
+				}
+			}
+		}
+	} else if len(k.RefOffsets) > 0 {
+		dstK := k
+		if w.targetKlass != nil {
+			dstK, _ = w.targetKlassOf(k)
+		}
+		ptrSlots = uint64(len(k.RefOffsets))
+		for i, srcOff := range k.RefOffsets {
+			if err := w.relativize(img, obj, srcOff, dstK.RefOffsets[i]); err != nil {
+				return err
+			}
+		}
+	}
+
+	if w.compact {
+		w.buf = appendCompact(w.buf, img, w.target, k.IsArray)
+		w.decodedInBuf += size
+	}
+
+	// Accounting for the byte-composition analysis (§5.2).
+	w.Objects++
+	w.Bytes += uint64(size)
+	hdr := uint64(w.target.HeaderSize())
+	if k.IsArray {
+		hdr = uint64(w.target.ArrayHeaderSize())
+	}
+	w.statObjects++
+	w.statBytes += uint64(size)
+	w.headerB += hdr
+	w.ptrB += ptrSlots * 8
+	w.padB += uint64(size) - hdr - w.payloadBytes(k, obj)
+	return nil
+}
+
+// relativize writes the relative address of the object referenced at
+// srcOff into the clone image at dstOff, visiting the referee if new.
+func (w *Writer) relativize(img []byte, obj heap.Addr, srcOff, dstOff uint32) error {
+	o := heap.Addr(w.sky.rt.Heap.Load(obj, srcOff, klass.Ref))
+	if o == heap.Null {
+		binary.LittleEndian.PutUint64(img[dstOff:], 0)
+		return nil
+	}
+	childRel, _, err := w.visit(o)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(img[dstOff:], childRel)
+	return nil
+}
+
+// payloadBytes returns the unpadded payload size (field data incl. pointer
+// slots) of obj, used to attribute the remainder to padding.
+func (w *Writer) payloadBytes(k *klass.Klass, obj heap.Addr) uint64 {
+	if k.IsArray {
+		return uint64(uint32(w.sky.rt.Heap.ArrayLen(obj)) * k.ElemSize())
+	}
+	if w.payloadB == nil {
+		w.payloadB = make(map[int32]uint64)
+	}
+	if n, ok := w.payloadB[k.LID]; ok {
+		return n
+	}
+	var n uint64
+	for _, f := range k.Fields {
+		n += uint64(f.Kind.Size())
+	}
+	w.payloadB[k.LID] = n
+	return n
+}
+
+// foldStats publishes the writer's local accumulators into the shared
+// service stats.
+func (w *Writer) foldStats() {
+	if w.statObjects == 0 && w.overflowHits == 0 {
+		return
+	}
+	atomic.AddUint64(&w.sky.stats.ObjectsSent, w.statObjects)
+	atomic.AddUint64(&w.sky.stats.BytesSent, w.statBytes)
+	atomic.AddUint64(&w.sky.stats.HeaderBytes, w.headerB)
+	atomic.AddUint64(&w.sky.stats.PointerBytes, w.ptrB)
+	atomic.AddUint64(&w.sky.stats.PaddingBytes, w.padB)
+	atomic.AddUint64(&w.sky.stats.OverflowHits, w.overflowHits)
+	w.statObjects, w.statBytes, w.headerB, w.ptrB, w.padB, w.overflowHits = 0, 0, 0, 0, 0, 0
+}
+
+// cloneCrossLayout builds obj's image field by field under the target
+// layout (heterogeneous clusters, §3.1).
+func (w *Writer) cloneCrossLayout(obj heap.Addr, k *klass.Klass, img []byte) error {
+	rt := w.sky.rt
+	h := rt.Heap
+	tk, err := w.targetKlassOf(k)
+	if err != nil {
+		return err
+	}
+	for i := range img {
+		img[i] = 0
+	}
+	if k.IsArray {
+		n := h.ArrayLen(obj)
+		binary.LittleEndian.PutUint64(img[w.target.OffArrayLen():], uint64(n))
+		es := k.ElemSize()
+		srcBase := h.Layout().ArrayHeaderSize()
+		dstBase := w.target.ArrayHeaderSize()
+		for i := 0; i < n; i++ {
+			v := h.Load(obj, srcBase+uint32(i)*es, k.Elem)
+			putKind(img[dstBase+uint32(i)*es:], k.Elem, v)
+		}
+		return nil
+	}
+	for i := range k.Fields {
+		src := &k.Fields[i]
+		dst := &tk.Fields[i]
+		putKind(img[dst.Offset:], src.Kind, h.Load(obj, src.Offset, src.Kind))
+	}
+	return nil
+}
+
+func putKind(b []byte, k klass.Kind, v uint64) {
+	switch k.Size() {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(b, v)
+	}
+}
+
+// flushSegment streams the current buffer out as one segment/chunk, then
+// emits any queued top marks (whose objects are now fully on the wire).
+func (w *Writer) flushSegment() error {
+	if len(w.buf) > 0 {
+		if w.compact {
+			var hdr [9]byte
+			hdr[0] = frameCompact
+			binary.BigEndian.PutUint32(hdr[1:], uint32(len(w.buf)))
+			binary.BigEndian.PutUint32(hdr[5:], w.decodedInBuf)
+			if _, err := w.w.Write(hdr[:]); err != nil {
+				return err
+			}
+			if _, err := w.w.Write(w.buf); err != nil {
+				return err
+			}
+			w.flushed += uint64(w.decodedInBuf)
+			w.decodedInBuf = 0
+			w.buf = w.buf[:0]
+		} else {
+			var hdr [5]byte
+			hdr[0] = frameSegment
+			binary.BigEndian.PutUint32(hdr[1:], uint32(len(w.buf)))
+			if _, err := w.w.Write(hdr[:]); err != nil {
+				return err
+			}
+			if _, err := w.w.Write(w.buf); err != nil {
+				return err
+			}
+			w.flushed += uint64(len(w.buf))
+			w.buf = w.buf[:0]
+		}
+	}
+	for _, rel := range w.pendingTops {
+		var f [9]byte
+		f[0] = frameTop
+		binary.BigEndian.PutUint64(f[1:], rel)
+		if _, err := w.w.Write(f[:]); err != nil {
+			return err
+		}
+	}
+	w.pendingTops = w.pendingTops[:0]
+	return nil
+}
+
+// writeTop queues a top mark; it reaches the wire with the next segment
+// flush, after the bytes of every object it refers to.
+func (w *Writer) writeTop(rel uint64) error {
+	w.pendingTops = append(w.pendingTops, rel)
+	return nil
+}
+
+// Flush forces any buffered segment and queued top marks onto the
+// underlying writer.
+func (w *Writer) Flush() error {
+	w.foldStats()
+	return w.flushSegment()
+}
+
+// Close flushes and terminates the stream. The Writer cannot be reused.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.foldStats()
+	if !w.headerWritten {
+		if err := writeHeader(w.w, w.target, w.streamID, w.compact); err != nil {
+			return err
+		}
+		w.headerWritten = true
+	}
+	if err := w.flushSegment(); err != nil {
+		return err
+	}
+	_, err := w.w.Write([]byte{frameEnd})
+	return err
+}

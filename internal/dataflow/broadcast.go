@@ -1,0 +1,52 @@
+package dataflow
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"skyway/internal/heap"
+	"skyway/internal/metrics"
+)
+
+// Broadcast ships an object graph from the driver to every executor — the
+// paper's closure serialization path (§2.1): Spark launches the program on
+// the driver and must transfer each task's closure, and everything it
+// captures, to the workers before the task can run there. The active data
+// serializer carries the closure, exactly like shuffle records.
+//
+// Returns the per-executor copies and the transfer cost breakdown (ser on
+// the driver, deser on each worker, network modelled per worker).
+func (c *Cluster) Broadcast(root heap.Addr) ([]heap.Addr, metrics.Breakdown, error) {
+	var bd metrics.Breakdown
+	c.shuffleStart()
+
+	start := time.Now()
+	var buf bytes.Buffer
+	enc := c.Codec.NewEncoder(c.Driver, &buf)
+	if err := enc.Write(root); err != nil {
+		return nil, bd, fmt.Errorf("dataflow: broadcast serialize: %w", err)
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, bd, err
+	}
+	bd.Ser = time.Since(start)
+	payload := buf.Bytes()
+	bd.ShuffleBytes = int64(len(payload)) * int64(c.Workers())
+	bd.RemoteBytes = bd.ShuffleBytes
+
+	out := make([]heap.Addr, c.Workers())
+	for i, ex := range c.Execs {
+		start = time.Now()
+		dec := c.Codec.NewDecoder(ex.RT, bytes.NewReader(payload))
+		got, err := dec.Read()
+		if err != nil {
+			return nil, bd, fmt.Errorf("dataflow: broadcast deserialize on worker %d: %w", i, err)
+		}
+		bd.Deser += time.Since(start)
+		bd.ReadIO += c.Model.NetTime(int64(len(payload)))
+		out[i] = got
+	}
+	bd.Records = int64(c.Workers())
+	return out, bd, nil
+}

@@ -1,0 +1,74 @@
+package dataflow
+
+import (
+	"testing"
+
+	"skyway/internal/klass"
+	"skyway/internal/serial"
+	"skyway/internal/vm"
+)
+
+// The closure-shipping path of §2.1: a DateParser-like object created on the
+// driver must reach every worker before tasks referencing it can run there.
+
+func closurePath() *klass.Path {
+	cp := klass.NewPath()
+	WorkloadClasses(cp)
+	cp.MustDefine(&klass.ClassDef{Name: "DateParser", Fields: []klass.FieldDef{
+		{Name: "format", Kind: klass.Ref, Class: vm.StringClass},
+		{Name: "lenient", Kind: klass.Bool},
+	}})
+	return cp
+}
+
+func TestBroadcastClosure(t *testing.T) {
+	for _, mode := range []string{"java", "skyway"} {
+		t.Run(mode, func(t *testing.T) {
+			cp := closurePath()
+			c, err := NewCluster(cp, Config{Workers: 3, Heap: smallHeap()}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch mode {
+			case "java":
+				c.Codec = serial.JavaCodec()
+			case "skyway":
+				rts := []*vm.Runtime{c.Driver}
+				for _, ex := range c.Execs {
+					rts = append(rts, ex.RT)
+				}
+				c.Codec = serial.NewSkywayCodec(rts...)
+			}
+
+			// Build the closure on the driver.
+			pk := c.Driver.MustLoad("DateParser")
+			parser := c.Driver.MustNew(pk)
+			ph := c.Driver.Pin(parser)
+			fs := c.Driver.MustNewString("yyyy-MM-dd")
+			c.Driver.SetRef(ph.Addr(), pk.FieldByName("format"), fs)
+			c.Driver.SetBool(ph.Addr(), pk.FieldByName("lenient"), true)
+
+			copies, bd, err := c.Broadcast(ph.Addr())
+			ph.Release()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(copies) != 3 {
+				t.Fatalf("%d copies", len(copies))
+			}
+			if bd.Ser == 0 || bd.Deser == 0 || bd.ShuffleBytes == 0 {
+				t.Errorf("broadcast breakdown incomplete: %+v", bd)
+			}
+			for i, ex := range c.Execs {
+				k := ex.RT.MustLoad("DateParser")
+				if !ex.RT.GetBool(copies[i], k.FieldByName("lenient")) {
+					t.Errorf("worker %d: bool field lost", i)
+				}
+				f := ex.RT.GetRef(copies[i], k.FieldByName("format"))
+				if ex.RT.GoString(f) != "yyyy-MM-dd" {
+					t.Errorf("worker %d: captured string corrupted", i)
+				}
+			}
+		})
+	}
+}

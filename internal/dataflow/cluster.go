@@ -1,0 +1,184 @@
+// Package dataflow is a miniature Spark: a driver plus N executor runtimes
+// (one simulated JVM each), datasets partitioned across executors, and a
+// sort-based shuffle whose write/fetch/deserialize path matches the Spark
+// pipeline the paper instruments (§2.2) — records are serialized with a
+// pluggable serializer into per-reducer blocks, "spilled" to disk, fetched
+// locally or remotely, and deserialized on the receiving executor. CPU-side
+// S/D time is measured; disk and network time are modelled from byte counts
+// by a netsim.CostModel.
+package dataflow
+
+import (
+	"fmt"
+
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+	"skyway/internal/metrics"
+	"skyway/internal/netsim"
+	"skyway/internal/registry"
+	"skyway/internal/serial"
+	"skyway/internal/vm"
+)
+
+// Config sizes a cluster.
+type Config struct {
+	// Workers is the executor count (the paper's Spark experiments use 3).
+	Workers int
+	// Heap configures each executor's heap; zero value uses a default
+	// sized for the bundled workloads.
+	Heap heap.Config
+	// Model prices disk and network I/O; zero value uses Paper1GbE.
+	Model netsim.CostModel
+	// SpillDir, when set, makes shuffles write real block files there and
+	// read them back, replacing the modelled disk times with measured
+	// ones (network stays modelled — the cluster is one process). Useful
+	// for validating the cost model against a real filesystem.
+	SpillDir string
+	// PartitionsPerWorker sets how many shuffle partitions each executor
+	// hosts (Spark defaults to several partitions per core); the total
+	// partition count is Workers × PartitionsPerWorker. Default 2.
+	// Partition p is placed on worker p mod Workers, so with a whole
+	// multiple per worker, key → worker ownership is stable regardless
+	// of the partition count.
+	PartitionsPerWorker int
+}
+
+// Cluster is one simulated Spark deployment.
+type Cluster struct {
+	CP     *klass.Path
+	Reg    *registry.Registry
+	Driver *vm.Runtime
+	Execs  []*Executor
+	Model  netsim.CostModel
+
+	// Codec is the active data serializer (spark.serializer).
+	Codec serial.Codec
+
+	// PeakHeap tracks the maximum per-executor heap usage observed at
+	// shuffle boundaries, for the §5.2 memory-overhead experiment.
+	PeakHeap uint64
+
+	// SpillDir and shuffleSeq implement optional real disk spilling.
+	SpillDir   string
+	shuffleSeq int
+
+	partitionsPerWorker int
+}
+
+// Executor is one worker JVM.
+type Executor struct {
+	ID int
+	RT *vm.Runtime
+}
+
+// DefaultWorkerHeap sizes executor heaps for the bundled workloads.
+func DefaultWorkerHeap() heap.Config {
+	return heap.Config{
+		EdenSize:     48 << 20,
+		SurvivorSize: 4 << 20,
+		OldSize:      96 << 20,
+		BufferSize:   192 << 20,
+		Layout:       klass.Layout{Baddr: true},
+	}
+}
+
+// NewCluster boots a driver and workers over a shared classpath, with the
+// driver hosting the global type registry (§4.1).
+func NewCluster(cp *klass.Path, cfg Config, codec serial.Codec) (*Cluster, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.Heap.EdenSize == 0 {
+		cfg.Heap = DefaultWorkerHeap()
+	}
+	if cfg.Model.NetBandwidth == 0 {
+		cfg.Model = netsim.Paper1GbE()
+	}
+	reg := registry.NewRegistry()
+	driver, err := vm.NewRuntime(cp, vm.Options{Name: "driver", Registry: registry.InProc{R: reg}})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.PartitionsPerWorker <= 0 {
+		cfg.PartitionsPerWorker = 2
+	}
+	c := &Cluster{
+		CP: cp, Reg: reg, Driver: driver, Model: cfg.Model, Codec: codec,
+		SpillDir: cfg.SpillDir, partitionsPerWorker: cfg.PartitionsPerWorker,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		rt, err := vm.NewRuntime(cp, vm.Options{
+			Name:     fmt.Sprintf("worker-%d", i),
+			Heap:     cfg.Heap,
+			Registry: registry.InProc{R: reg},
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.Execs = append(c.Execs, &Executor{ID: i, RT: rt})
+	}
+	return c, nil
+}
+
+// Workers returns the executor count.
+func (c *Cluster) Workers() int { return len(c.Execs) }
+
+// NumPartitions returns the shuffle partition count.
+func (c *Cluster) NumPartitions() int { return len(c.Execs) * c.partitionsPerWorker }
+
+// OwnerOf returns the executor hosting shuffle partition p.
+func (c *Cluster) OwnerOf(p int) int { return p % len(c.Execs) }
+
+// sampleHeaps records peak executor heap usage.
+func (c *Cluster) sampleHeaps() {
+	for _, ex := range c.Execs {
+		if u := ex.RT.Heap.UsedBytes(); u > c.PeakHeap {
+			c.PeakHeap = u
+		}
+	}
+}
+
+// shuffleStart advances the Skyway shuffle phase when the active codec is
+// Skyway — the one-line integration mark of §3.3. Baseline codecs need no
+// phase management.
+func (c *Cluster) shuffleStart() {
+	if s, ok := c.Codec.(interface{ ShuffleStartAll() }); ok {
+		s.ShuffleStartAll()
+	}
+}
+
+// records is a GC-safe record list: one pinned heap ArrayList per executor
+// partition.
+type records struct {
+	ex   *Executor
+	list heap.Addr
+	pin  interface{ Addr() heap.Addr }
+	rel  func()
+}
+
+func newRecords(ex *Executor) (*records, error) {
+	l, err := ex.RT.NewArrayList(64)
+	if err != nil {
+		return nil, err
+	}
+	h := ex.RT.Pin(l)
+	return &records{ex: ex, list: l, pin: h, rel: h.Release}, nil
+}
+
+func (r *records) add(a heap.Addr) error { return r.ex.RT.ListAdd(r.pin.Addr(), a) }
+func (r *records) len() int              { return r.ex.RT.ListLen(r.pin.Addr()) }
+func (r *records) get(i int) heap.Addr   { return r.ex.RT.ListGet(r.pin.Addr(), i) }
+func (r *records) free()                 { r.rel() }
+
+// Breakdown helpers --------------------------------------------------------
+
+// mergeBreakdowns sums per-executor contributions; the simulated cluster
+// executes executors sequentially, so wall-clock equals the sum, matching
+// the single-executor-per-node setup of §2.2.
+func mergeBreakdowns(parts ...metrics.Breakdown) metrics.Breakdown {
+	var out metrics.Breakdown
+	for _, p := range parts {
+		out.Add(p)
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package dataflow
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"skyway/internal/gc"
+	"skyway/internal/heap"
+	"skyway/internal/metrics"
+)
+
+// Emit sends one record to a destination shuffle partition during the map
+// side of a shuffle (partitions number Cluster.NumPartitions and are placed
+// on executors by Cluster.OwnerOf). Sort keys drive the sort-based shuffle
+// ordering (Tungsten sort).
+type Emit func(dst int, sortKey uint64, rec heap.Addr)
+
+// ShuffleSpec describes one shuffle phase.
+type ShuffleSpec struct {
+	// Produce runs on every executor and emits keyed records. It executes
+	// under the computation timer.
+	Produce func(ex *Executor, emit Emit) error
+	// Consume runs on every executor over the records it received (in
+	// sorted key order per sending block). It executes under the
+	// computation timer.
+	Consume func(ex *Executor, recs []heap.Addr) error
+}
+
+// outRecord is a map-side buffered record, held through a GC handle so the
+// producer's further allocations cannot invalidate it.
+type outRecord struct {
+	key uint64
+	h   *gc.Handle
+}
+
+// RunShuffle executes one full shuffle phase over the cluster and returns
+// its cost breakdown:
+//
+//	compute: Produce + sort + Consume (measured)
+//	ser:     encoding each (mapper, reducer) block (measured)
+//	writeIO: spilling blocks to shuffle files (modelled from bytes)
+//	readIO:  fetching blocks, split local/remote (modelled from bytes)
+//	deser:   decoding fetched blocks on the reducer (measured)
+func (c *Cluster) RunShuffle(spec ShuffleSpec) (metrics.Breakdown, error) {
+	var bd metrics.Breakdown
+	w := c.Workers()
+	p := c.NumPartitions()
+	c.shuffleStart()
+	c.shuffleSeq++
+
+	// --- map side: produce + sort + serialize -------------------------
+	blocks := make([][][]byte, w) // blocks[srcWorker][dstPartition]
+	for src := 0; src < w; src++ {
+		ex := c.Execs[src]
+		out := make([][]outRecord, p)
+
+		start := time.Now()
+		err := spec.Produce(ex, func(dst int, key uint64, rec heap.Addr) {
+			if dst < 0 || dst >= p {
+				panic(fmt.Sprintf("dataflow: emit to partition %d of %d", dst, p))
+			}
+			out[dst] = append(out[dst], outRecord{key: key, h: ex.RT.Pin(rec)})
+		})
+		if err != nil {
+			return bd, fmt.Errorf("dataflow: produce on worker %d: %w", src, err)
+		}
+		// Sort each block by key (sort-based shuffle).
+		for dst := range out {
+			recs := out[dst]
+			sort.SliceStable(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+		}
+		bd.Compute += time.Since(start)
+
+		// Serialize blocks.
+		blocks[src] = make([][]byte, p)
+		serStart := time.Now()
+		for dst := 0; dst < p; dst++ {
+			if len(out[dst]) == 0 {
+				continue
+			}
+			var buf bytes.Buffer
+			enc := c.Codec.NewEncoder(ex.RT, &buf)
+			for _, r := range out[dst] {
+				if err := enc.Write(r.h.Addr()); err != nil {
+					return bd, fmt.Errorf("dataflow: serialize on worker %d: %w", src, err)
+				}
+			}
+			if err := enc.Flush(); err != nil {
+				return bd, err
+			}
+			blocks[src][dst] = buf.Bytes()
+			bd.Records += int64(len(out[dst]))
+		}
+		bd.Ser += time.Since(serStart)
+		for dst := range out {
+			for _, r := range out[dst] {
+				r.h.Release()
+			}
+		}
+
+		// Spill to shuffle files: modelled by default, or real files
+		// when Config.SpillDir is set.
+		var written int64
+		for dst := 0; dst < p; dst++ {
+			written += int64(len(blocks[src][dst]))
+		}
+		if c.SpillDir == "" {
+			bd.WriteIO += c.Model.WriteTime(written)
+		} else {
+			start := time.Now()
+			for dst := 0; dst < p; dst++ {
+				if len(blocks[src][dst]) == 0 {
+					continue
+				}
+				if err := os.WriteFile(c.spillPath(src, dst), blocks[src][dst], 0o644); err != nil {
+					return bd, fmt.Errorf("dataflow: spill: %w", err)
+				}
+				blocks[src][dst] = nil // force the fetch through the file
+			}
+			bd.WriteIO += time.Since(start)
+		}
+		bd.ShuffleBytes += written
+	}
+	c.sampleHeaps()
+
+	// --- reduce side: fetch + deserialize + consume --------------------
+	// Each reduce worker drains every partition it hosts, pulling that
+	// partition's block from every map worker.
+	for worker := 0; worker < w; worker++ {
+		ex := c.Execs[worker]
+		var localB, remoteB int64
+		var handles []*gc.Handle
+		var freers []interface{ Free() }
+
+		var fetchTime time.Duration
+		for dst := 0; dst < p; dst++ {
+			if c.OwnerOf(dst) != worker {
+				continue
+			}
+			for src := 0; src < w; src++ {
+				block := blocks[src][dst]
+				if block == nil && c.SpillDir != "" {
+					// Fetch the real block file (measured read I/O).
+					start := time.Now()
+					var err error
+					block, err = os.ReadFile(c.spillPath(src, dst))
+					if err != nil {
+						if os.IsNotExist(err) {
+							continue
+						}
+						return bd, fmt.Errorf("dataflow: fetch: %w", err)
+					}
+					fetchTime += time.Since(start)
+					os.Remove(c.spillPath(src, dst))
+				}
+				if len(block) == 0 {
+					continue
+				}
+				if src == worker {
+					localB += int64(len(block))
+				} else {
+					remoteB += int64(len(block))
+				}
+				deserStart := time.Now()
+				dec := c.Codec.NewDecoder(ex.RT, bytes.NewReader(block))
+				for {
+					rec, err := dec.Read()
+					if err != nil {
+						if isEOF(err) {
+							break
+						}
+						return bd, fmt.Errorf("dataflow: deserialize on worker %d: %w", worker, err)
+					}
+					handles = append(handles, ex.RT.Pin(rec))
+				}
+				bd.Deser += time.Since(deserStart)
+				if f, ok := dec.(interface{ Free() }); ok {
+					freers = append(freers, f)
+				}
+				blocks[src][dst] = nil
+			}
+		}
+		bd.LocalBytes += localB
+		bd.RemoteBytes += remoteB
+		if c.SpillDir == "" {
+			bd.ReadIO += c.Model.FetchTime(localB, remoteB)
+		} else {
+			// Disk reads are measured; the remote hop stays modelled
+			// (the simulated cluster shares one machine).
+			bd.ReadIO += fetchTime + c.Model.NetTime(remoteB)
+		}
+
+		start := time.Now()
+		recs := make([]heap.Addr, len(handles))
+		for i, h := range handles {
+			recs[i] = h.Addr()
+		}
+		if spec.Consume != nil {
+			if err := spec.Consume(ex, recs); err != nil {
+				return bd, fmt.Errorf("dataflow: consume on worker %d: %w", worker, err)
+			}
+		}
+		bd.Compute += time.Since(start)
+		for _, h := range handles {
+			h.Release()
+		}
+		// The reduce side has consumed the records; release the Skyway
+		// input buffers (the explicit-free API of §3.2 — Spark keeps
+		// buffers only while the RDD is cached, and these records are
+		// not).
+		for _, f := range freers {
+			f.Free()
+		}
+	}
+	c.sampleHeaps()
+	return bd, nil
+}
+
+func isEOF(err error) bool { return errors.Is(err, io.EOF) }
+
+// spillPath names the shuffle block file for one (mapper, reducer) pair of
+// the current shuffle.
+func (c *Cluster) spillPath(src, dst int) string {
+	return filepath.Join(c.SpillDir, fmt.Sprintf("shuffle-%d-%d-%d.block", c.shuffleSeq, src, dst))
+}
+
+// Compute runs fn on every executor under the computation timer, outside
+// any shuffle — for per-partition setup and iteration bookkeeping.
+func (c *Cluster) Compute(fn func(ex *Executor) error) (metrics.Breakdown, error) {
+	var bd metrics.Breakdown
+	for _, ex := range c.Execs {
+		start := time.Now()
+		if err := fn(ex); err != nil {
+			return bd, err
+		}
+		bd.Compute += time.Since(start)
+	}
+	return bd, nil
+}

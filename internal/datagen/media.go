@@ -1,0 +1,231 @@
+package datagen
+
+import (
+	"fmt"
+
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+	"skyway/internal/vm"
+)
+
+// The JSBS workload (§5.1): media-content objects of roughly 1 KB in JSON
+// form, mixing primitive int/long fields with reference fields — a Media
+// record with a person list, plus a couple of Image records.
+
+// Media-content class names.
+const (
+	MediaContentClass = "serializers.MediaContent"
+	MediaClass        = "serializers.Media"
+	ImageClass        = "serializers.Image"
+)
+
+// MediaClasses defines the JSBS schema on cp (idempotent).
+func MediaClasses(cp *klass.Path) {
+	vm.EnsureBuiltins(cp)
+	if cp.Lookup(MediaClass) != nil {
+		return
+	}
+	cp.MustDefine(
+		&klass.ClassDef{Name: MediaClass, Fields: []klass.FieldDef{
+			{Name: "uri", Kind: klass.Ref, Class: vm.StringClass},
+			{Name: "title", Kind: klass.Ref, Class: vm.StringClass},
+			{Name: "width", Kind: klass.Int32},
+			{Name: "height", Kind: klass.Int32},
+			{Name: "format", Kind: klass.Ref, Class: vm.StringClass},
+			{Name: "duration", Kind: klass.Int64},
+			{Name: "size", Kind: klass.Int64},
+			{Name: "bitrate", Kind: klass.Int32},
+			{Name: "hasBitrate", Kind: klass.Bool},
+			{Name: "persons", Kind: klass.Ref, Class: vm.StringClass + "[]"},
+			{Name: "player", Kind: klass.Int32},
+			{Name: "copyright", Kind: klass.Ref, Class: vm.StringClass},
+		}},
+		&klass.ClassDef{Name: ImageClass, Fields: []klass.FieldDef{
+			{Name: "uri", Kind: klass.Ref, Class: vm.StringClass},
+			{Name: "title", Kind: klass.Ref, Class: vm.StringClass},
+			{Name: "width", Kind: klass.Int32},
+			{Name: "height", Kind: klass.Int32},
+			{Name: "size", Kind: klass.Int32},
+		}},
+		&klass.ClassDef{Name: MediaContentClass, Fields: []klass.FieldDef{
+			{Name: "media", Kind: klass.Ref, Class: MediaClass},
+			{Name: "images", Kind: klass.Ref, Class: ImageClass + "[]"},
+		}},
+	)
+}
+
+// MediaClassNames lists every class a media graph can reach, in a fixed
+// order usable as a Kryo registration list.
+func MediaClassNames() []string {
+	return []string{
+		MediaContentClass, MediaClass, ImageClass,
+		ImageClass + "[]", vm.StringClass, vm.CharArrayClass, vm.StringClass + "[]",
+	}
+}
+
+// MediaGen builds media-content object graphs on a runtime.
+type MediaGen struct {
+	rt  *vm.Runtime
+	rng *RNG
+}
+
+// NewMediaGen creates a generator; the schema must be on the classpath
+// (call MediaClasses first or use a shared classpath that includes it).
+func NewMediaGen(rt *vm.Runtime, seed uint64) *MediaGen {
+	MediaClasses(rt.ClassPath())
+	return &MediaGen{rt: rt, rng: NewRNG(seed)}
+}
+
+// One allocates one MediaContent graph (a Media with persons plus two
+// Images — the canonical JSBS record) and returns a pinned-free address;
+// callers pin if they allocate before using it.
+func (g *MediaGen) One(i int) (heap.Addr, error) {
+	rt := g.rt
+	mck := rt.MustLoad(MediaContentClass)
+	mk := rt.MustLoad(MediaClass)
+	ik := rt.MustLoad(ImageClass)
+
+	newStr := func(s string) (heap.Addr, *vmHandle, error) {
+		a, err := rt.NewString(s)
+		if err != nil {
+			return heap.Null, nil, err
+		}
+		h := rt.Pin(a)
+		return a, &vmHandle{h}, nil
+	}
+	var pins []*vmHandle
+	defer func() {
+		for _, p := range pins {
+			p.release()
+		}
+	}()
+	pin := func(a heap.Addr) *vmHandle {
+		h := &vmHandle{rt.Pin(a)}
+		pins = append(pins, h)
+		return h
+	}
+
+	// Media.
+	media, err := rt.New(mk)
+	if err != nil {
+		return heap.Null, err
+	}
+	mh := pin(media)
+	set := func(obj *vmHandle, k *klass.Klass, field, val string) error {
+		s, sh, err := newStr(val)
+		if err != nil {
+			return err
+		}
+		pins = append(pins, sh)
+		_ = s
+		rt.SetRef(obj.addr(), k.FieldByName(field), sh.addr())
+		return nil
+	}
+	if err := set(mh, mk, "uri", fmt.Sprintf("http://javaone.com/keynote_%d.mpg", i)); err != nil {
+		return heap.Null, err
+	}
+	if err := set(mh, mk, "title", "Javaone Keynote"); err != nil {
+		return heap.Null, err
+	}
+	if err := set(mh, mk, "format", "video/mpg4"); err != nil {
+		return heap.Null, err
+	}
+	if err := set(mh, mk, "copyright", "None"); err != nil {
+		return heap.Null, err
+	}
+	rt.SetInt(mh.addr(), mk.FieldByName("width"), 640)
+	rt.SetInt(mh.addr(), mk.FieldByName("height"), 480)
+	rt.SetLong(mh.addr(), mk.FieldByName("duration"), 18000000)
+	rt.SetLong(mh.addr(), mk.FieldByName("size"), 58982400+int64(g.rng.Intn(1<<20)))
+	rt.SetInt(mh.addr(), mk.FieldByName("bitrate"), 262144)
+	rt.SetBool(mh.addr(), mk.FieldByName("hasBitrate"), true)
+	rt.SetInt(mh.addr(), mk.FieldByName("player"), int64(g.rng.Intn(2)))
+
+	// Persons.
+	sak := rt.MustLoad(vm.StringClass + "[]")
+	persons, err := rt.NewArray(sak, 2)
+	if err != nil {
+		return heap.Null, err
+	}
+	ph := pin(persons)
+	for j, name := range []string{"Bill Gates", "Steve Jobs"} {
+		s, sh, err := newStr(name)
+		if err != nil {
+			return heap.Null, err
+		}
+		pins = append(pins, sh)
+		_ = s
+		rt.ArraySetRef(ph.addr(), j, sh.addr())
+	}
+	rt.SetRef(mh.addr(), mk.FieldByName("persons"), ph.addr())
+
+	// Images.
+	iak := rt.MustLoad(ImageClass + "[]")
+	images, err := rt.NewArray(iak, 2)
+	if err != nil {
+		return heap.Null, err
+	}
+	iah := pin(images)
+	sizes := [2][3]int64{{1024, 768, 0}, {320, 240, 1}}
+	for j := 0; j < 2; j++ {
+		img, err := rt.New(ik)
+		if err != nil {
+			return heap.Null, err
+		}
+		imgH := pin(img)
+		if err := set(imgH, ik, "uri", fmt.Sprintf("http://javaone.com/keynote_%s_%d.jpg", []string{"large", "small"}[j], i)); err != nil {
+			return heap.Null, err
+		}
+		if err := set(imgH, ik, "title", "Javaone Keynote"); err != nil {
+			return heap.Null, err
+		}
+		rt.SetInt(imgH.addr(), ik.FieldByName("width"), sizes[j][0])
+		rt.SetInt(imgH.addr(), ik.FieldByName("height"), sizes[j][1])
+		rt.SetInt(imgH.addr(), ik.FieldByName("size"), sizes[j][2])
+		rt.ArraySetRef(iah.addr(), j, imgH.addr())
+	}
+
+	mc, err := rt.New(mck)
+	if err != nil {
+		return heap.Null, err
+	}
+	rt.SetRef(mc, mck.FieldByName("media"), mh.addr())
+	rt.SetRef(mc, mck.FieldByName("images"), iah.addr())
+	return mc, nil
+}
+
+// Batch allocates n MediaContent graphs, returning handles that the caller
+// must release.
+func (g *MediaGen) Batch(n int) ([]heap.Addr, func(), error) {
+	handles := make([]*vmHandle, 0, n)
+	release := func() {
+		for _, h := range handles {
+			h.release()
+		}
+	}
+	addrs := make([]heap.Addr, n)
+	for i := 0; i < n; i++ {
+		a, err := g.One(i)
+		if err != nil {
+			release()
+			return nil, nil, err
+		}
+		h := &vmHandle{g.rt.Pin(a)}
+		handles = append(handles, h)
+	}
+	for i, h := range handles {
+		addrs[i] = h.addr()
+	}
+	return addrs, release, nil
+}
+
+// vmHandle narrows gc.Handle for local use.
+type vmHandle struct {
+	h interface {
+		Addr() heap.Addr
+		Release()
+	}
+}
+
+func (v *vmHandle) addr() heap.Addr { return v.h.Addr() }
+func (v *vmHandle) release()        { v.h.Release() }

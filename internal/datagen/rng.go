@@ -1,0 +1,78 @@
+// Package datagen provides the deterministic synthetic datasets the
+// reproduction substitutes for the paper's inputs: power-law graphs shaped
+// like the Table 1 corpora, the JSBS media-content objects (§5.1), a TPC-H
+// shaped relational generator (§5.3), and a Zipfian text corpus for
+// WordCount. Everything is seeded, so runs are repeatable.
+package datagen
+
+import "math"
+
+// RNG is a splitmix64 generator: tiny, fast, stable across Go releases
+// (unlike math/rand's unexported algorithm choices).
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed + 0x9E3779B97F4A7C15} }
+
+// Next returns the next 64 random bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("datagen: Intn with n <= 0")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *RNG) Int63() int64 { return int64(r.Next() >> 1) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 { return float64(r.Next()>>11) / (1 << 53) }
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// Zipf samples from a Zipf-like distribution over [0, n) with exponent s,
+// using inverse-CDF over a precomputed table.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a sampler of n ranks with exponent s (s > 0; s≈1 is
+// classic word-frequency skew).
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Sample draws one rank.
+func (z *Zipf) Sample() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

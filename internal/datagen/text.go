@@ -1,0 +1,43 @@
+package datagen
+
+import "fmt"
+
+// Text corpus for WordCount: lines of Zipf-distributed words over a fixed
+// vocabulary, matching the heavy-hitter skew of natural text that makes
+// WordCount's single shuffle small relative to its input.
+
+// TextSpec shapes a corpus.
+type TextSpec struct {
+	Lines        int
+	WordsPerLine int
+	Vocabulary   int
+	Seed         uint64
+}
+
+// Generate materializes the corpus as one string per line.
+func (s TextSpec) Generate() []string {
+	if s.WordsPerLine == 0 {
+		s.WordsPerLine = 10
+	}
+	if s.Vocabulary == 0 {
+		s.Vocabulary = 10000
+	}
+	rng := NewRNG(s.Seed)
+	zipf := NewZipf(rng, s.Vocabulary, 1.05)
+	vocab := make([]string, s.Vocabulary)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("word%05d", i)
+	}
+	lines := make([]string, s.Lines)
+	for i := range lines {
+		line := make([]byte, 0, s.WordsPerLine*10)
+		for w := 0; w < s.WordsPerLine; w++ {
+			if w > 0 {
+				line = append(line, ' ')
+			}
+			line = append(line, vocab[zipf.Sample()]...)
+		}
+		lines[i] = string(line)
+	}
+	return lines
+}

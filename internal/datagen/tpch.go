@@ -1,0 +1,222 @@
+package datagen
+
+import "fmt"
+
+// TPC-H-shaped relational generator (§5.3 substitution for dbgen). Scale
+// factor 1.0 here produces roughly 60k lineitems — about 1/100000 of the
+// paper's 100 GB input — with the schema, key relationships, and value
+// distributions the five queries depend on. Rows are generated as plain Go
+// structs; the batch engine materializes them as heap tuples per node.
+
+// TPCHRegion is one REGION row.
+type TPCHRegion struct {
+	RegionKey int32
+	Name      string
+}
+
+// TPCHNation is one NATION row.
+type TPCHNation struct {
+	NationKey int32
+	Name      string
+	RegionKey int32
+}
+
+// TPCHSupplier is one SUPPLIER row.
+type TPCHSupplier struct {
+	SuppKey   int32
+	Name      string
+	NationKey int32
+	AcctBal   float64
+}
+
+// TPCHCustomer is one CUSTOMER row.
+type TPCHCustomer struct {
+	CustKey    int32
+	Name       string
+	NationKey  int32
+	MktSegment string
+	AcctBal    float64
+}
+
+// TPCHPart is one PART row.
+type TPCHPart struct {
+	PartKey int32
+	Name    string
+	Type    string
+	Size    int32
+}
+
+// TPCHPartSupp is one PARTSUPP row.
+type TPCHPartSupp struct {
+	PartKey    int32
+	SuppKey    int32
+	SupplyCost float64
+}
+
+// TPCHOrder is one ORDERS row. Dates are integer days since the epoch of
+// the dataset (day 0 = 1992-01-01), spanning ~2500 days like dbgen.
+type TPCHOrder struct {
+	OrderKey     int32
+	CustKey      int32
+	OrderStatus  byte
+	TotalPrice   float64
+	OrderDate    int32
+	ShipPriority int32
+}
+
+// TPCHLineItem is one LINEITEM row.
+type TPCHLineItem struct {
+	OrderKey      int32
+	PartKey       int32
+	SuppKey       int32
+	LineNumber    int32
+	Quantity      float64
+	ExtendedPrice float64
+	Discount      float64
+	Tax           float64
+	ReturnFlag    byte // 'R', 'A', 'N'
+	LineStatus    byte // 'O', 'F'
+	ShipDate      int32
+	CommitDate    int32
+	ReceiptDate   int32
+}
+
+// TPCH is a generated database.
+type TPCH struct {
+	Regions   []TPCHRegion
+	Nations   []TPCHNation
+	Suppliers []TPCHSupplier
+	Customers []TPCHCustomer
+	Parts     []TPCHPart
+	PartSupps []TPCHPartSupp
+	Orders    []TPCHOrder
+	LineItems []TPCHLineItem
+}
+
+// TPCH date span in days (≈1992-01-01 .. 1998-12-01, like dbgen).
+const TPCHDays = 2520
+
+var (
+	regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	segments    = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	partTypes   = []string{"STANDARD BRUSHED TIN", "ECONOMY ANODIZED STEEL", "PROMO POLISHED COPPER",
+		"MEDIUM PLATED BRASS", "LARGE BURNISHED NICKEL", "SMALL PLATED COPPER"}
+)
+
+// GenTPCH generates a database at the given scale factor with a fixed seed.
+func GenTPCH(sf float64, seed uint64) *TPCH {
+	if sf <= 0 {
+		sf = 1
+	}
+	rng := NewRNG(seed)
+	db := &TPCH{}
+
+	for i, n := range regionNames {
+		db.Regions = append(db.Regions, TPCHRegion{RegionKey: int32(i), Name: n})
+	}
+	for i := 0; i < 25; i++ {
+		db.Nations = append(db.Nations, TPCHNation{
+			NationKey: int32(i),
+			Name:      fmt.Sprintf("NATION_%02d", i),
+			RegionKey: int32(i % 5),
+		})
+	}
+	nSupp := scaleCount(100, sf)
+	for i := 0; i < nSupp; i++ {
+		db.Suppliers = append(db.Suppliers, TPCHSupplier{
+			SuppKey:   int32(i),
+			Name:      fmt.Sprintf("Supplier#%09d", i),
+			NationKey: int32(rng.Intn(25)),
+			AcctBal:   float64(rng.Intn(1100000))/100 - 1000,
+		})
+	}
+	nCust := scaleCount(1500, sf)
+	for i := 0; i < nCust; i++ {
+		db.Customers = append(db.Customers, TPCHCustomer{
+			CustKey:    int32(i),
+			Name:       fmt.Sprintf("Customer#%09d", i),
+			NationKey:  int32(rng.Intn(25)),
+			MktSegment: segments[rng.Intn(len(segments))],
+			AcctBal:    float64(rng.Intn(1100000))/100 - 1000,
+		})
+	}
+	nPart := scaleCount(2000, sf)
+	for i := 0; i < nPart; i++ {
+		db.Parts = append(db.Parts, TPCHPart{
+			PartKey: int32(i),
+			Name:    fmt.Sprintf("part %d", i),
+			Type:    partTypes[rng.Intn(len(partTypes))],
+			Size:    int32(1 + rng.Intn(50)),
+		})
+		// 4 suppliers per part, dbgen-style.
+		for j := 0; j < 4; j++ {
+			db.PartSupps = append(db.PartSupps, TPCHPartSupp{
+				PartKey:    int32(i),
+				SuppKey:    int32((i + j*(nSupp/4+1)) % nSupp),
+				SupplyCost: float64(100+rng.Intn(99900)) / 100,
+			})
+		}
+	}
+	nOrders := scaleCount(15000, sf)
+	lineNo := 0
+	for i := 0; i < nOrders; i++ {
+		od := int32(rng.Intn(TPCHDays - 151))
+		o := TPCHOrder{
+			OrderKey:     int32(i),
+			CustKey:      int32(rng.Intn(nCust)),
+			TotalPrice:   0,
+			OrderDate:    od,
+			ShipPriority: 0,
+		}
+		nLines := 1 + rng.Intn(7)
+		for l := 0; l < nLines; l++ {
+			qty := float64(1 + rng.Intn(50))
+			price := float64(90000+rng.Intn(110000)) / 100 * qty / 10
+			ship := od + int32(1+rng.Intn(121))
+			commit := od + int32(30+rng.Intn(61))
+			receipt := ship + int32(1+rng.Intn(30))
+			rf := byte('N')
+			ls := byte('O')
+			if int(receipt) <= TPCHDays-170 { // old enough to be final
+				ls = 'F'
+				if rng.Bool(0.25) {
+					rf = 'R'
+				} else if rng.Bool(0.33) {
+					rf = 'A'
+				}
+			}
+			db.LineItems = append(db.LineItems, TPCHLineItem{
+				OrderKey:      o.OrderKey,
+				PartKey:       int32(rng.Intn(nPart)),
+				SuppKey:       int32(rng.Intn(nSupp)),
+				LineNumber:    int32(l + 1),
+				Quantity:      qty,
+				ExtendedPrice: price,
+				Discount:      float64(rng.Intn(11)) / 100,
+				Tax:           float64(rng.Intn(9)) / 100,
+				ReturnFlag:    rf,
+				LineStatus:    ls,
+				ShipDate:      ship,
+				CommitDate:    commit,
+				ReceiptDate:   receipt,
+			})
+			o.TotalPrice += price
+			lineNo++
+		}
+		if rng.Bool(0.5) {
+			o.OrderStatus = 'F'
+		} else {
+			o.OrderStatus = 'O'
+		}
+		db.Orders = append(db.Orders, o)
+	}
+	return db
+}
+
+func scaleCount(base int, sf float64) int {
+	n := int(float64(base) * sf)
+	if n < 10 {
+		n = 10
+	}
+	return n
+}

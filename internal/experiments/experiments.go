@@ -1,0 +1,552 @@
+// Package experiments contains the reproduction harnesses for every table
+// and figure in the paper's evaluation (§2.2, §5), shared by the cmd/
+// binaries and the repository's benchmarks. Each experiment returns
+// structured results; formatting lives with the callers.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"skyway/internal/batch"
+	"skyway/internal/dataflow"
+	"skyway/internal/datagen"
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+	"skyway/internal/metrics"
+	"skyway/internal/netsim"
+	"skyway/internal/registry"
+	"skyway/internal/serial"
+	"skyway/internal/vm"
+)
+
+// --- Figure 7: JSBS ----------------------------------------------------------
+
+// JSBSResult is one bar of Figure 7.
+type JSBSResult struct {
+	Lib   string
+	Ser   time.Duration // total serialization time
+	Deser time.Duration // total deserialization time
+	Net   time.Duration // modelled broadcast time
+	Bytes int64         // serialized volume
+}
+
+// Total returns the bar height.
+func (r JSBSResult) Total() time.Duration { return r.Ser + r.Deser + r.Net }
+
+// jsbsEnv is the JSBS cluster scaffolding: one sender plus a factory for
+// fresh receiver runtimes attached to the same registry and classpath.
+type jsbsEnv struct {
+	cp  *klass.Path
+	reg *registry.Registry
+	snd *vm.Runtime
+}
+
+func newJSBSEnv() (*jsbsEnv, error) {
+	cp := klass.NewPath()
+	datagen.MediaClasses(cp)
+	env := &jsbsEnv{cp: cp, reg: registry.NewRegistry()}
+	snd, err := vm.NewRuntime(cp, vm.Options{Name: "jsbs-snd", Heap: jsbsHeap(), Registry: registry.InProc{R: env.reg}})
+	if err != nil {
+		return nil, err
+	}
+	env.snd = snd
+	return env, nil
+}
+
+func jsbsHeap() heap.Config {
+	big := heap.DefaultConfig()
+	big.EdenSize = 64 << 20
+	big.OldSize = 256 << 20
+	big.BufferSize = 256 << 20
+	return big
+}
+
+func (e *jsbsEnv) newReceiver(name string) (*vm.Runtime, error) {
+	return vm.NewRuntime(e.cp, vm.Options{Name: name, Heap: jsbsHeap(), Registry: registry.InProc{R: e.reg}})
+}
+
+// JSBSCodecs returns the Figure 7 library lineup (Skyway first), extended
+// with the compact-headers mode (the paper's §5.2 future work).
+func JSBSCodecs(snd, rcv *vm.Runtime) []serial.Codec {
+	reg := serial.NewRegistration(datagen.MediaClassNames()...)
+	return []serial.Codec{
+		serial.NewSkywayCodec(snd, rcv),
+		serial.NewSkywayCompactCodec(snd, rcv),
+		serial.ColferCodec(reg),
+		serial.ProtostuffCodec(reg),
+		serial.DatakernelCodec(reg),
+		serial.ProtostuffRuntimeCodec(reg),
+		serial.KryoManualCodec(reg),
+		serial.KryoOptCodec(reg),
+		serial.KryoCodec(reg),
+		serial.ThriftCodec(reg),
+		serial.FSTCodec(),
+		serial.AvroGenericCodec(reg),
+		serial.WoblyCodec(reg),
+		serial.SmileCodec(),
+		serial.CBORCodec(),
+		serial.JavaCodec(),
+		serial.JsonLikeCodec(),
+	}
+}
+
+// RunJSBS reproduces Figure 7: n media-content graphs are serialized,
+// "broadcast" to the other nodes of a 5-node cluster (network modelled),
+// and deserialized; per-library totals are returned sorted fastest-first.
+func RunJSBS(n int, model netsim.CostModel) ([]JSBSResult, error) {
+	env, err := newJSBSEnv()
+	if err != nil {
+		return nil, err
+	}
+	snd := env.snd
+	gen := datagen.NewMediaGen(snd, 7)
+	roots, release, err := gen.Batch(n)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	// 5-node cluster, switched full-duplex fabric: the four per-peer
+	// unicasts proceed concurrently (distinct receiver NICs; the switch
+	// is non-blocking), so a broadcast round costs one transmission time.
+	// This matches the paper's observation that shipping 50% more bytes
+	// barely moves the network cost (§1, §5.1).
+
+	var out []JSBSResult
+	for li := range JSBSCodecs(snd, snd) {
+		// Fresh receiver per library: no codec inherits another's heap
+		// garbage or GC debt.
+		rcv, err := env.newReceiver(fmt.Sprintf("jsbs-rcv-%d", li))
+		if err != nil {
+			return nil, err
+		}
+		// JSBS serializes each record through a fresh stream (a new
+		// ObjectOutputStream per operation), so stream-scoped state —
+		// the Java serializer's class descriptors above all — is paid
+		// per record, as in the original benchmark. Each library runs
+		// three repetitions; the best one is reported (JSBS likewise
+		// repeats until timings stabilize).
+		const reps = 5
+		codec := JSBSCodecs(snd, rcv)[li]
+		best := JSBSResult{Ser: 1 << 62, Deser: 1 << 62}
+		for rep := 0; rep < reps; rep++ {
+			// A repetition is a new shuffle phase: without the phase
+			// bump the sender's baddr words would say "already sent".
+			if s, ok := codec.(interface{ ShuffleStartAll() }); ok {
+				s.ShuffleStartAll()
+			}
+			// Collect Go-side garbage outside the timed sections so
+			// background GC does not preempt a measurement (the
+			// harness host may be a single-core machine).
+			runtime.GC()
+			payloads := make([][]byte, n)
+			var total int64
+			start := time.Now()
+			for i, r := range roots {
+				var buf bytes.Buffer
+				enc := codec.NewEncoder(snd, &buf)
+				if err := enc.Write(r); err != nil {
+					return nil, fmt.Errorf("%s: %w", codec.Name(), err)
+				}
+				if err := enc.Flush(); err != nil {
+					return nil, err
+				}
+				payloads[i] = buf.Bytes()
+				total += int64(len(payloads[i]))
+			}
+			ser := time.Since(start)
+
+			start = time.Now()
+			for i := range payloads {
+				dec := codec.NewDecoder(rcv, bytes.NewReader(payloads[i]))
+				if _, err := dec.Read(); err != nil {
+					return nil, fmt.Errorf("%s: record %d: %w", codec.Name(), i, err)
+				}
+			}
+			deser := time.Since(start)
+
+			if ser < best.Ser {
+				best.Ser = ser
+			}
+			if deser < best.Deser {
+				best.Deser = deser
+			}
+			best.Lib = codec.Name()
+			best.Net = model.NetTime(total)
+			best.Bytes = total
+			// Clear receiver-side garbage between repetitions.
+			rcv.GC.FullGC()
+		}
+		out = append(out, best)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Total() < out[j].Total() })
+	return out, nil
+}
+
+// --- Spark experiments (Figures 3, 8(a), Tables 1-2, §5.2 extras) -------------
+
+// SparkApp names one of the four workloads.
+type SparkApp string
+
+// The Spark workloads of §5.2.
+const (
+	WC SparkApp = "WC"
+	PR SparkApp = "PR"
+	CC SparkApp = "CC"
+	TC SparkApp = "TC"
+)
+
+// SparkApps lists the workloads in report order.
+func SparkApps() []SparkApp { return []SparkApp{WC, PR, CC, TC} }
+
+// SparkSerializers lists the Figure 8(a) serializers in report order.
+func SparkSerializers() []string { return []string{"java", "kryo", "skyway"} }
+
+// SparkConfig parameterizes the Spark matrix.
+type SparkConfig struct {
+	Workers    int
+	GraphScale float64 // 1.0 = 1/100 of the paper's graph sizes
+	PRIters    int
+	CCIters    int
+	Model      netsim.CostModel
+	// Layout overrides the executor heap layout (memory-overhead
+	// experiment); zero value keeps the default (baddr on).
+	Layout *klass.Layout
+	// HeapMB scales each executor heap (eden ≈ HeapMB/8, old ≈ HeapMB/2,
+	// buffers ≈ HeapMB/2); zero keeps dataflow.DefaultWorkerHeap. The
+	// shuffle-heavy TriangleCounting runs need room proportional to the
+	// graph scale, like the paper's 20-30 GB executor heaps.
+	HeapMB int
+}
+
+// DefaultSparkConfig returns laptop-sized parameters.
+func DefaultSparkConfig() SparkConfig {
+	return SparkConfig{Workers: 3, GraphScale: 0.15, PRIters: 3, CCIters: 5, Model: netsim.Paper1GbE()}
+}
+
+func newSparkCluster(cfg SparkConfig, codecName string) (*dataflow.Cluster, error) {
+	cp := klass.NewPath()
+	dataflow.WorkloadClasses(cp)
+	hc := dataflow.DefaultWorkerHeap()
+	if cfg.HeapMB > 0 {
+		mb := uint64(cfg.HeapMB) << 20
+		hc.EdenSize = mb / 8
+		hc.SurvivorSize = mb / 64
+		hc.OldSize = mb / 2
+		hc.BufferSize = mb / 2
+	}
+	if cfg.Layout != nil {
+		hc.Layout = *cfg.Layout
+	}
+	c, err := dataflow.NewCluster(cp, dataflow.Config{Workers: cfg.Workers, Heap: hc, Model: cfg.Model}, nil)
+	if err != nil {
+		return nil, err
+	}
+	switch codecName {
+	case "java":
+		c.Codec = serial.JavaCodec()
+	case "kryo":
+		c.Codec = serial.KryoCodec(dataflow.WorkloadRegistration())
+	case "skyway", "skyway-compact":
+		rts := make([]*vm.Runtime, 0, len(c.Execs)+1)
+		rts = append(rts, c.Driver)
+		for _, ex := range c.Execs {
+			rts = append(rts, ex.RT)
+		}
+		sk := serial.NewSkywayCodec(rts...)
+		sk.Compact = codecName == "skyway-compact"
+		c.Codec = sk
+	default:
+		return nil, fmt.Errorf("experiments: unknown serializer %q", codecName)
+	}
+	return c, nil
+}
+
+// SparkRun executes one (app, graph, serializer) cell and returns the
+// breakdown, a result digest (codec-independent) and the cluster's peak
+// executor heap usage.
+func SparkRun(app SparkApp, g *datagen.Graph, codecName string, cfg SparkConfig) (metrics.Breakdown, float64, uint64, error) {
+	// Start every cell from a clean Go heap so one cell's garbage does
+	// not become background GC work inside the next cell's timers.
+	runtime.GC()
+	c, err := newSparkCluster(cfg, codecName)
+	if err != nil {
+		return metrics.Breakdown{}, 0, 0, err
+	}
+	var bd metrics.Breakdown
+	var digest float64
+	switch app {
+	case WC:
+		lines := datagen.TextSpec{Lines: g.N * 2, WordsPerLine: 12, Vocabulary: 20000, Seed: g.Spec.Seed}.Generate()
+		parts := make([][]string, cfg.Workers)
+		for i, l := range lines {
+			parts[i%cfg.Workers] = append(parts[i%cfg.Workers], l)
+		}
+		var total int64
+		bd, total, err = dataflow.RunWordCount(c, parts)
+		digest = float64(total)
+	case PR:
+		var mass float64
+		bd, mass, err = dataflow.RunPageRank(c, g, cfg.PRIters)
+		digest = mass
+	case CC:
+		var comps int
+		bd, comps, err = dataflow.RunConnectedComponents(c, g, cfg.CCIters)
+		digest = float64(comps)
+	case TC:
+		var tris int64
+		bd, tris, err = dataflow.RunTriangleCounting(c, g)
+		digest = float64(tris)
+	default:
+		err = fmt.Errorf("experiments: unknown app %q", app)
+	}
+	return bd, digest, c.PeakHeap, err
+}
+
+// SparkCell is one bar of Figure 8(a).
+type SparkCell struct {
+	App        SparkApp
+	Graph      string
+	Serializer string
+	Breakdown  metrics.Breakdown
+	Digest     float64
+}
+
+// RunSparkMatrix reproduces Figure 8(a): every app × graph × serializer.
+func RunSparkMatrix(cfg SparkConfig, graphs []datagen.GraphSpec, apps []SparkApp) ([]SparkCell, error) {
+	var cells []SparkCell
+	for _, spec := range graphs {
+		g := spec.Generate()
+		for _, app := range apps {
+			for _, ser := range SparkSerializers() {
+				bd, digest, _, err := SparkRun(app, g, ser, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s/%s: %w", app, spec.Name, ser, err)
+				}
+				cells = append(cells, SparkCell{App: app, Graph: spec.Name, Serializer: ser, Breakdown: bd, Digest: digest})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Table2 aggregates Figure 8(a) cells into the Table 2 normalized summary:
+// per serializer, each (app, graph) run normalized to the Java serializer.
+func Table2(cells []SparkCell) map[string]*metrics.Summary {
+	base := make(map[string]metrics.Breakdown) // app/graph -> java breakdown
+	for _, c := range cells {
+		if c.Serializer == "java" {
+			base[string(c.App)+"/"+c.Graph] = c.Breakdown
+		}
+	}
+	out := map[string]*metrics.Summary{"kryo": {}, "skyway": {}}
+	for _, c := range cells {
+		if c.Serializer == "java" {
+			continue
+		}
+		b, ok := base[string(c.App)+"/"+c.Graph]
+		if !ok {
+			continue
+		}
+		out[c.Serializer].Add(metrics.Normalize(c.Breakdown, b))
+	}
+	return out
+}
+
+// Fig3Result is the §2.2 motivation experiment: TriangleCounting over the
+// LiveJournal-shaped graph under Kryo and the Java serializer.
+type Fig3Result struct {
+	Serializer string
+	Breakdown  metrics.Breakdown
+}
+
+// RunFig3 reproduces Figure 3(a)/(b).
+func RunFig3(cfg SparkConfig) ([]Fig3Result, error) {
+	spec, err := datagen.GraphByName("LiveJournal", cfg.GraphScale)
+	if err != nil {
+		return nil, err
+	}
+	g := spec.Generate()
+	var out []Fig3Result
+	for _, ser := range []string{"kryo", "java"} {
+		bd, _, _, err := SparkRun(TC, g, ser, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig3Result{Serializer: ser, Breakdown: bd})
+	}
+	return out, nil
+}
+
+// MemOverheadResult is the §5.2 memory-overhead experiment for one app.
+type MemOverheadResult struct {
+	App              SparkApp
+	PeakWithBaddr    uint64
+	PeakWithoutBaddr uint64
+	OverheadFraction float64
+}
+
+// RunMemOverhead measures peak executor heap usage with and without the
+// baddr header word, running each app under Kryo (the serializer must not
+// need baddr so the no-baddr layout stays valid).
+func RunMemOverhead(cfg SparkConfig) ([]MemOverheadResult, error) {
+	spec, err := datagen.GraphByName("LiveJournal", cfg.GraphScale)
+	if err != nil {
+		return nil, err
+	}
+	g := spec.Generate()
+	var out []MemOverheadResult
+	for _, app := range SparkApps() {
+		with := cfg
+		withLayout := klass.Layout{Baddr: true}
+		with.Layout = &withLayout
+		_, _, peakWith, err := SparkRun(app, g, "kryo", with)
+		if err != nil {
+			return nil, err
+		}
+		without := cfg
+		withoutLayout := klass.Layout{Baddr: false}
+		without.Layout = &withoutLayout
+		_, _, peakWithout, err := SparkRun(app, g, "kryo", without)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MemOverheadResult{
+			App:              app,
+			PeakWithBaddr:    peakWith,
+			PeakWithoutBaddr: peakWithout,
+			OverheadFraction: float64(peakWith)/float64(peakWithout) - 1,
+		})
+	}
+	return out, nil
+}
+
+// ExtraBytes reports the byte-composition analysis of §5.2: what Skyway's
+// extra bytes consist of (headers, padding, pointers).
+type ExtraBytes struct {
+	SkywayBytes, KryoBytes          int64
+	HeaderShare, PadShare, PtrShare float64
+}
+
+// RunExtraBytes measures Skyway's byte overhead vs Kryo on PageRank and
+// decomposes the Skyway stream.
+func RunExtraBytes(cfg SparkConfig) (ExtraBytes, error) {
+	spec, err := datagen.GraphByName("LiveJournal", cfg.GraphScale)
+	if err != nil {
+		return ExtraBytes{}, err
+	}
+	g := spec.Generate()
+
+	kbd, _, _, err := SparkRun(PR, g, "kryo", cfg)
+	if err != nil {
+		return ExtraBytes{}, err
+	}
+
+	c, err := newSparkCluster(cfg, "skyway")
+	if err != nil {
+		return ExtraBytes{}, err
+	}
+	sbd, _, err2 := dataflow.RunPageRank(c, g, cfg.PRIters)
+	if err2 != nil {
+		return ExtraBytes{}, err2
+	}
+	sky := c.Codec.(*serial.SkywayCodec)
+	var stats struct{ hdr, pad, ptr, total uint64 }
+	for _, ex := range c.Execs {
+		s := sky.ServiceFor(ex.RT).Snapshot()
+		stats.hdr += s.HeaderBytes
+		stats.pad += s.PaddingBytes
+		stats.ptr += s.PointerBytes
+		stats.total += s.BytesSent
+	}
+	extra := float64(sbd.ShuffleBytes - kbd.ShuffleBytes)
+	if extra <= 0 {
+		extra = 1
+	}
+	return ExtraBytes{
+		SkywayBytes: sbd.ShuffleBytes,
+		KryoBytes:   kbd.ShuffleBytes,
+		HeaderShare: float64(stats.hdr) / extra,
+		PadShare:    float64(stats.pad) / extra,
+		PtrShare:    float64(stats.ptr) / extra,
+	}, nil
+}
+
+// --- Flink experiments (Figure 8(b), Tables 3-4) -------------------------------
+
+// FlinkCell is one bar of Figure 8(b).
+type FlinkCell struct {
+	Query      batch.Query
+	Serializer string
+	Breakdown  metrics.Breakdown
+	Digest     float64
+}
+
+// FlinkConfig parameterizes the Flink matrix.
+type FlinkConfig struct {
+	Workers int
+	SF      float64
+	Model   netsim.CostModel
+}
+
+// DefaultFlinkConfig returns laptop-sized parameters.
+func DefaultFlinkConfig() FlinkConfig {
+	return FlinkConfig{Workers: 3, SF: 1.0, Model: netsim.Paper1GbE()}
+}
+
+// RunFlinkMatrix reproduces Figure 8(b): QA–QE under the built-in
+// serializers and Skyway.
+func RunFlinkMatrix(cfg FlinkConfig, queries []batch.Query) ([]FlinkCell, error) {
+	gen := datagen.GenTPCH(cfg.SF, 2024)
+	var cells []FlinkCell
+	for _, mode := range []string{"flink-builtin", "skyway"} {
+		factory := batch.BuiltinFactory()
+		if mode == "skyway" {
+			factory = batch.SkywayFactory()
+		}
+		for _, q := range queries {
+			cp := klass.NewPath()
+			batch.TPCHClasses(cp)
+			c, err := batch.NewCluster(cp, batch.Config{Workers: cfg.Workers, Model: cfg.Model}, factory)
+			if err != nil {
+				return nil, err
+			}
+			db, err := batch.Load(c, gen)
+			if err != nil {
+				return nil, err
+			}
+			bd, digest, err := batch.Run(c, q, db)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", mode, q, err)
+			}
+			db.Free()
+			cells = append(cells, FlinkCell{Query: q, Serializer: mode, Breakdown: bd, Digest: digest})
+		}
+	}
+	return cells, nil
+}
+
+// Table4 aggregates Figure 8(b) cells into the Table 4 normalized summary
+// (Skyway vs the built-in serializers).
+func Table4(cells []FlinkCell) *metrics.Summary {
+	base := make(map[batch.Query]metrics.Breakdown)
+	for _, c := range cells {
+		if c.Serializer == "flink-builtin" {
+			base[c.Query] = c.Breakdown
+		}
+	}
+	sum := &metrics.Summary{}
+	for _, c := range cells {
+		if c.Serializer != "skyway" {
+			continue
+		}
+		if b, ok := base[c.Query]; ok {
+			sum.Add(metrics.Normalize(c.Breakdown, b))
+		}
+	}
+	return sum
+}

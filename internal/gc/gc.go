@@ -1,0 +1,309 @@
+// Package gc implements the collector for the simulated managed heap: a
+// generational copying scavenger over eden/survivor spaces plus a Lisp-2
+// mark-compact full collection of the old generation — a single-threaded
+// stand-in for the Parallel Scavenge collector the paper modifies (§4).
+//
+// The collector understands Skyway input buffers: ranges in the heap's
+// pinned buffer space are registered with the collector, never move, act as
+// GC roots once parsed (they are live until explicitly freed), and have
+// their dirty cards scanned for pointers into the moving generations.
+package gc
+
+import (
+	"fmt"
+
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+)
+
+// Meta supplies the object-model knowledge the collector needs. It is
+// implemented by the vm runtime, breaking what would otherwise be an import
+// cycle between the collector and the class loader.
+type Meta interface {
+	// ObjectSize returns the padded byte size of the object at a.
+	ObjectSize(a heap.Addr) uint32
+	// RefSlots invokes fn with the byte offset of every reference slot of
+	// the object at a (instance fields or array elements).
+	RefSlots(a heap.Addr, fn func(off uint32))
+}
+
+// Handle is a GC root slot. Application code holds objects through handles;
+// the collector rewrites handle targets when objects move.
+type Handle struct {
+	addr heap.Addr
+	coll *Collector
+	idx  int
+}
+
+// Addr returns the current address of the handled object.
+func (h *Handle) Addr() heap.Addr { return h.addr }
+
+// Set retargets the handle.
+func (h *Handle) Set(a heap.Addr) { h.addr = a }
+
+// Release drops the root; the handle must not be used afterwards.
+func (h *Handle) Release() {
+	if h.coll != nil {
+		h.coll.release(h.idx)
+		h.coll = nil
+	}
+}
+
+// PinnedRange is a registered Skyway input-buffer chunk in buffer space.
+type PinnedRange struct {
+	Start heap.Addr
+	Size  uint32
+	// Parsed becomes true once the receiver has absolutized the chunk;
+	// before that the collector treats the range as opaque bytes.
+	Parsed bool
+	freed  bool
+}
+
+// Stats accumulates collection counts for tests and reporting.
+type Stats struct {
+	Scavenges   int
+	FullGCs     int
+	PromotedB   uint64
+	CopiedB     uint64
+	CompactedB  uint64
+	HandleCount int
+}
+
+// Collector owns GC state for one heap.
+type Collector struct {
+	h    *heap.Heap
+	meta Meta
+
+	handles []*Handle
+	free    []int
+
+	pinned    []*PinnedRange
+	freedPins int
+
+	// TenureAge is the survival count after which a young object is
+	// promoted to the old generation.
+	TenureAge int
+
+	stats Stats
+}
+
+// New builds a collector for h using meta for object walking.
+func New(h *heap.Heap, meta Meta) *Collector {
+	return &Collector{h: h, meta: meta, TenureAge: 2}
+}
+
+// Stats returns a copy of the collection statistics.
+func (c *Collector) Stats() Stats {
+	s := c.stats
+	s.HandleCount = len(c.handles) - len(c.free)
+	return s
+}
+
+// NewHandle registers a new root pointing at a.
+func (c *Collector) NewHandle(a heap.Addr) *Handle {
+	h := &Handle{addr: a, coll: c}
+	if n := len(c.free); n > 0 {
+		h.idx = c.free[n-1]
+		c.free = c.free[:n-1]
+		c.handles[h.idx] = h
+	} else {
+		h.idx = len(c.handles)
+		c.handles = append(c.handles, h)
+	}
+	return h
+}
+
+func (c *Collector) release(idx int) {
+	c.handles[idx] = nil
+	c.free = append(c.free, idx)
+}
+
+// Pin registers a Skyway input-buffer chunk with the collector.
+func (c *Collector) Pin(start heap.Addr, size uint32) *PinnedRange {
+	if !c.h.InBuffers(start) {
+		panic(fmt.Sprintf("gc: pin outside buffer space at %#x", uint64(start)))
+	}
+	p := &PinnedRange{Start: start, Size: size}
+	c.pinned = append(c.pinned, p)
+	return p
+}
+
+// Unpin frees a pinned chunk: its objects stop being roots and the chunk's
+// space returns to the buffer allocator for reuse (the explicit-free API of
+// §3.2). The pinned list is swept lazily once freed entries accumulate.
+func (c *Collector) Unpin(p *PinnedRange) {
+	if p.freed {
+		return
+	}
+	p.freed = true
+	c.freedPins++
+	c.h.FreeBufferRange(p.Start, p.Size)
+	if c.freedPins*2 > len(c.pinned) && len(c.pinned) > 32 {
+		live := c.pinned[:0]
+		for _, q := range c.pinned {
+			if !q.freed {
+				live = append(live, q)
+			}
+		}
+		c.pinned = live
+		c.freedPins = 0
+	}
+}
+
+// eachPinnedObject walks every object of every parsed, live pinned chunk.
+func (c *Collector) eachPinnedObject(fn func(a heap.Addr)) {
+	for _, p := range c.pinned {
+		if p.freed || !p.Parsed {
+			continue
+		}
+		a := p.Start
+		end := p.Start + heap.Addr(p.Size)
+		for a < end {
+			fn(a)
+			a += heap.Addr(c.meta.ObjectSize(a))
+		}
+	}
+}
+
+// --- scavenge ---------------------------------------------------------------
+
+// Scavenge performs a young collection: live eden/from-space objects are
+// copied to to-space (or promoted to the old generation when aged out or
+// when to-space is full), roots and old-to-young references found through
+// the card table are updated, and the survivor spaces are swapped.
+// Returns false — having done nothing — when the old generation cannot
+// absorb a worst-case promotion of the entire young generation; the caller
+// must run a full GC instead. Bailing up front keeps a scavenge atomic: a
+// mid-copy promotion failure would leave half-forwarded objects behind.
+func (c *Collector) Scavenge() bool {
+	h := c.h
+	if h.Old.Free() < h.Eden.Used()+h.From.Used() {
+		return false
+	}
+	c.stats.Scavenges++
+
+	// forward copies obj to its new home and returns the new address.
+	var forward func(a heap.Addr) heap.Addr
+	var scanQueue []heap.Addr
+	forward = func(a heap.Addr) heap.Addr {
+		if to, done := h.Forwarded(a); done {
+			return to
+		}
+		size := c.meta.ObjectSize(a)
+		age := h.Age(a)
+		var dst heap.Addr
+		if age+1 < c.TenureAge {
+			dst = h.To.Top
+			if uint64(size) <= h.To.Free() {
+				h.To.Top += heap.Addr(size)
+			} else {
+				dst = heap.Null
+			}
+		}
+		if dst == heap.Null {
+			dst = h.AllocOld(size)
+			if dst == heap.Null {
+				// Ruled out by the headroom check above.
+				panic("gc: promotion failure during scavenge")
+			}
+			c.stats.PromotedB += uint64(size)
+		} else {
+			c.stats.CopiedB += uint64(size)
+		}
+		h.CopyWords(dst, a, size)
+		h.SetAge(dst, age+1)
+		h.SetForwarded(a, dst)
+		scanQueue = append(scanQueue, dst)
+		return dst
+	}
+
+	fixSlot := func(owner heap.Addr, off uint32) {
+		ref := heap.Addr(h.Load(owner, off, refKind))
+		if ref == heap.Null || !h.InYoung(ref) {
+			return
+		}
+		h.Store(owner, off, refKind, uint64(forward(ref)))
+	}
+
+	// Roots: handles.
+	for _, hd := range c.handles {
+		if hd == nil || hd.addr == heap.Null {
+			continue
+		}
+		if h.InYoung(hd.addr) {
+			hd.addr = forward(hd.addr)
+		}
+	}
+	// Roots: old-generation objects on dirty cards (write-barrier remembered
+	// set), walked linearly as HotSpot does within dirty card spans.
+	c.eachOldObject(func(a heap.Addr) {
+		size := c.meta.ObjectSize(a)
+		if !h.RangeDirty(a, size) {
+			return
+		}
+		c.meta.RefSlots(a, func(off uint32) { fixSlot(a, off) })
+	})
+	// Roots: parsed Skyway input buffers holding young pointers (possible
+	// after application mutation); found via their dirty cards too.
+	c.eachPinnedObject(func(a heap.Addr) {
+		size := c.meta.ObjectSize(a)
+		if !h.RangeDirty(a, size) {
+			return
+		}
+		c.meta.RefSlots(a, func(off uint32) { fixSlot(a, off) })
+	})
+
+	// Transitive closure.
+	for len(scanQueue) > 0 {
+		a := scanQueue[len(scanQueue)-1]
+		scanQueue = scanQueue[:len(scanQueue)-1]
+		c.meta.RefSlots(a, func(off uint32) { fixSlot(a, off) })
+	}
+
+	// Reset young spaces: eden and from-space are now garbage; survivors
+	// live in to-space. Swap semispaces.
+	h.Eden.Reset()
+	h.From.Reset()
+	h.From, h.To = h.To, h.From
+	// Cards for the young generation are meaningless; clear cards over the
+	// old gen that no longer hold young pointers would require re-scanning,
+	// so conservatively keep them dirty only if they still point young.
+	c.recleanCards()
+	return true
+}
+
+const refKind = klass.Ref
+
+// recleanCards clears dirty cards over tenured spaces that no longer contain
+// young pointers, keeping scavenge cost proportional to genuinely dirty data.
+func (c *Collector) recleanCards() {
+	h := c.h
+	clean := func(a heap.Addr) {
+		size := c.meta.ObjectSize(a)
+		if !h.RangeDirty(a, size) {
+			return
+		}
+		young := false
+		c.meta.RefSlots(a, func(off uint32) {
+			ref := heap.Addr(h.Load(a, off, refKind))
+			if ref != heap.Null && h.InYoung(ref) {
+				young = true
+			}
+		})
+		if !young {
+			h.CleanCards(a, uint64(size))
+		}
+	}
+	c.eachOldObject(clean)
+	c.eachPinnedObject(clean)
+}
+
+// eachOldObject walks the old generation linearly.
+func (c *Collector) eachOldObject(fn func(a heap.Addr)) {
+	a := c.h.Old.Start
+	for a < c.h.Old.Top {
+		size := c.meta.ObjectSize(a)
+		fn(a)
+		a += heap.Addr(size)
+	}
+}

@@ -1,0 +1,325 @@
+package gc_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"skyway/internal/gc"
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+	"skyway/internal/vm"
+)
+
+// The collector tests run through the vm runtime (which implements gc.Meta)
+// rather than a hand-rolled Meta, so what is exercised is what ships.
+
+func newRT(t testing.TB) *vm.Runtime {
+	t.Helper()
+	cp := klass.NewPath()
+	cp.MustDefine(
+		&klass.ClassDef{Name: "N", Fields: []klass.FieldDef{
+			{Name: "v", Kind: klass.Int64},
+			{Name: "next", Kind: klass.Ref, Class: "N"},
+		}},
+	)
+	rt, err := vm.NewRuntime(cp, vm.Options{Name: "gct", Heap: heap.Config{
+		EdenSize:     96 << 10,
+		SurvivorSize: 16 << 10,
+		OldSize:      768 << 10,
+		BufferSize:   128 << 10,
+		Layout:       klass.Layout{Baddr: true},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestHandleReleaseMakesGarbage(t *testing.T) {
+	rt := newRT(t)
+	k := rt.MustLoad("N")
+	h := rt.Pin(rt.MustNew(k))
+	rt.GC.FullGC()
+	liveBefore := rt.Heap.Old.Used()
+	h.Release()
+	rt.GC.FullGC()
+	if rt.Heap.Old.Used() >= liveBefore {
+		t.Errorf("old gen did not shrink after releasing the only root: %d -> %d",
+			liveBefore, rt.Heap.Old.Used())
+	}
+}
+
+func TestScavengePromotesAfterTenureAge(t *testing.T) {
+	rt := newRT(t)
+	k := rt.MustLoad("N")
+	h := rt.Pin(rt.MustNew(k))
+	defer h.Release()
+	for i := 0; i < rt.GC.TenureAge+1; i++ {
+		if !rt.GC.Scavenge() {
+			t.Fatal("scavenge refused")
+		}
+	}
+	if !rt.Heap.InOld(h.Addr()) {
+		t.Errorf("object not promoted after %d scavenges", rt.GC.TenureAge+1)
+	}
+}
+
+func TestScavengeBailsWhenOldFull(t *testing.T) {
+	rt := newRT(t)
+	k := rt.MustLoad("long[]")
+	// Fill old gen almost completely.
+	for {
+		a := rt.Heap.AllocOld(4096)
+		if a == heap.Null {
+			break
+		}
+		rt.Heap.ZeroWords(a, 4096)
+		rt.Heap.SetKlassWord(a, uint64(k.LID))
+		rt.Heap.SetArrayLen(a, (4096-int(rt.Heap.Layout().ArrayHeaderSize()))/8)
+	}
+	// Put something in eden so the worst-case promotion exceeds old.Free.
+	rt.Heap.AllocYoung(8192)
+	if rt.GC.Scavenge() {
+		t.Error("scavenge proceeded without promotion headroom")
+	}
+}
+
+func TestFullGCCompactsOldGen(t *testing.T) {
+	rt := newRT(t)
+	k := rt.MustLoad("N")
+	// Tenure interleaved live/dead objects: pin every other one.
+	var pins []interface {
+		Addr() heap.Addr
+		Release()
+	}
+	for i := 0; i < 200; i++ {
+		h := rt.Pin(rt.MustNew(k))
+		if i%2 == 0 {
+			pins = append(pins, h)
+		} else {
+			defer h.Release() // keep alive through the tenuring GC only
+		}
+	}
+	rt.GC.FullGC() // everything tenures
+	used := rt.Heap.Old.Used()
+
+	// Drop the odd pins (already deferred) by running a full GC after
+	// releasing them explicitly.
+	for _, p := range pins {
+		_ = p
+	}
+	// Release the deferred (odd) handles early:
+	// (they were deferred; emulate by collecting with only even pins).
+	// Instead: release every second pinned handle now.
+	for i, p := range pins {
+		if i%2 == 1 {
+			p.Release()
+		}
+	}
+	rt.GC.FullGC()
+	if rt.Heap.Old.Used() >= used {
+		t.Errorf("full GC did not compact: %d -> %d", used, rt.Heap.Old.Used())
+	}
+	// Survivors must still be intact.
+	vF := rt.MustLoad("N").FieldByName("v")
+	for i, p := range pins {
+		if i%2 == 1 {
+			continue
+		}
+		_ = rt.GetLong(p.Addr(), vF) // must not panic
+	}
+}
+
+func TestPinnedChunksSurviveAndAnchor(t *testing.T) {
+	rt := newRT(t)
+	k := rt.MustLoad("N")
+
+	// Build a fake parsed input chunk holding one object.
+	size := k.InstanceBytes(0)
+	base := rt.Heap.AllocBuffer(klass.Pad(size))
+	rt.Heap.ZeroWords(base, klass.Pad(size))
+	rt.Heap.SetKlassWord(base, uint64(k.LID))
+	pin := rt.GC.Pin(base, klass.Pad(size))
+	pin.Parsed = true
+
+	// Point the buffer object at a young object; dirty card via SetRef.
+	young := rt.MustNew(k)
+	rt.SetLong(young, k.FieldByName("v"), 1234)
+	rt.SetRef(base, k.FieldByName("next"), young)
+
+	rt.GC.FullGC()
+	got := rt.GetRef(base, k.FieldByName("next"))
+	if got == heap.Null || rt.GetLong(got, k.FieldByName("v")) != 1234 {
+		t.Fatal("object referenced only from a pinned chunk was collected")
+	}
+	if rt.Heap.InYoung(got) {
+		// FullGC tenures everything it keeps.
+		t.Error("survivor left in young space after full GC")
+	}
+
+	// After unpinning, the chunk no longer roots anything.
+	rt.GC.Unpin(pin)
+	rt.GC.FullGC()
+	if rt.Heap.Old.Used() != 0 {
+		t.Errorf("unpinned chunk still anchors %d bytes", rt.Heap.Old.Used())
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	rt := newRT(t)
+	k := rt.MustLoad("N")
+	h := rt.Pin(rt.MustNew(k))
+	defer h.Release()
+	rt.GC.Scavenge()
+	rt.GC.FullGC()
+	s := rt.GC.Stats()
+	if s.Scavenges != 1 || s.FullGCs != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.HandleCount != 1 {
+		t.Errorf("HandleCount = %d", s.HandleCount)
+	}
+}
+
+// Property: any random sequence of list builds, handle releases and
+// collections preserves exactly the pinned lists' contents.
+func TestGCSoakQuick(t *testing.T) {
+	rt := newRT(t)
+	k := rt.MustLoad("N")
+	vF, nextF := k.FieldByName("v"), k.FieldByName("next")
+
+	type listT struct {
+		pin interface {
+			Addr() heap.Addr
+			Release()
+		}
+		vals []int64
+	}
+	var live []*listT
+
+	buildList := func(seed int64, n int) *listT {
+		l := &listT{}
+		var headPin *gc.Handle
+		var tail *gc.Handle
+		for i := 0; i < n; i++ {
+			node := rt.MustNew(k)
+			v := seed*1000 + int64(i)
+			rt.SetLong(node, vF, v)
+			l.vals = append(l.vals, v)
+			if headPin == nil {
+				headPin = rt.Pin(node)
+				tail = rt.Pin(node)
+			} else {
+				rt.SetRef(tail.Addr(), nextF, node)
+				tail.Set(node)
+			}
+		}
+		tail.Release()
+		l.pin = headPin
+		return l
+	}
+	checkList := func(l *listT) bool {
+		cur := l.pin.Addr()
+		for _, want := range l.vals {
+			if cur == heap.Null || rt.GetLong(cur, vF) != want {
+				return false
+			}
+			cur = rt.GetRef(cur, nextF)
+		}
+		return cur == heap.Null
+	}
+
+	f := func(ops []uint8) bool {
+		for i, op := range ops {
+			switch op % 4 {
+			case 0:
+				live = append(live, buildList(int64(i), 1+int(op)%20))
+			case 1:
+				if len(live) > 0 {
+					victim := live[int(op)%len(live)]
+					victim.pin.Release()
+					live = append(live[:int(op)%len(live)], live[int(op)%len(live)+1:]...)
+				}
+			case 2:
+				if !rt.GC.Scavenge() {
+					rt.GC.FullGC()
+				}
+			case 3:
+				rt.GC.FullGC()
+			}
+			for _, l := range live {
+				if !checkList(l) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range live {
+		l.pin.Release()
+	}
+}
+
+func TestPinOutsideBufferSpacePanics(t *testing.T) {
+	rt := newRT(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("Pin outside buffer space did not panic")
+		}
+	}()
+	rt.GC.Pin(rt.Heap.Old.Start, 64)
+}
+
+func ExampleCollector_stats() {
+	cp := klass.NewPath()
+	cp.MustDefine(&klass.ClassDef{Name: "X", Fields: []klass.FieldDef{{Name: "v", Kind: klass.Int64}}})
+	rt, _ := vm.NewRuntime(cp, vm.Options{Name: "ex"})
+	h := rt.Pin(rt.MustNew(rt.MustLoad("X")))
+	rt.GC.FullGC()
+	fmt.Println(rt.GC.Stats().FullGCs)
+	h.Release()
+	// Output: 1
+}
+
+func TestFullGCWithoutEvacuationRoom(t *testing.T) {
+	rt := newRT(t)
+	k := rt.MustLoad("N")
+	vF := k.FieldByName("v")
+
+	// Fill the old generation with live (pinned) data.
+	var pins []*gc.Handle
+	arrK := rt.MustLoad("long[]")
+	for {
+		a := rt.Heap.AllocOld(4096)
+		if a == heap.Null {
+			break
+		}
+		rt.Heap.ZeroWords(a, 4096)
+		rt.Heap.SetKlassWord(a, uint64(arrK.LID))
+		rt.Heap.SetArrayLen(a, (4096-int(rt.Heap.Layout().ArrayHeaderSize()))/8)
+		pins = append(pins, rt.GC.NewHandle(a))
+	}
+	// Live young objects that cannot be evacuated.
+	young := rt.Pin(rt.MustNew(k))
+	rt.SetLong(young.Addr(), vF, 4711)
+
+	rt.GC.FullGC() // must not panic, must not lose the young object
+	if rt.GetLong(young.Addr(), vF) != 4711 {
+		t.Error("young object lost by non-evacuating full GC")
+	}
+	if !rt.Heap.InYoung(young.Addr()) {
+		t.Error("young object moved despite no old-gen room")
+	}
+	for _, p := range pins {
+		p.Release()
+	}
+	young.Release()
+	rt.GC.FullGC()
+	if rt.Heap.Old.Used() != 0 {
+		t.Error("old gen not reclaimed after releasing roots")
+	}
+}

@@ -1,0 +1,354 @@
+// Package heap implements the simulated managed heap: a word-addressed slab
+// with the 64-bit object layout of the paper's Figure 6 (mark word, klass
+// word, Skyway's baddr word, array length, padded payload), generational
+// regions (eden, two survivor spaces, old generation, and a pinned buffer
+// space for Skyway input buffers), and a card table.
+//
+// Addresses are byte offsets into the slab; every object is 8-byte aligned
+// and address 0 is the null reference. The slab is stored as []uint64 so
+// that the Skyway writer can CAS baddr words through sync/atomic without
+// unsafe pointer arithmetic.
+package heap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"skyway/internal/klass"
+)
+
+// Addr is a byte address within a Heap. 0 is the null reference.
+type Addr uint64
+
+// Null is the null reference.
+const Null Addr = 0
+
+// CardSize is the card-table granularity in bytes, matching the 512-byte
+// cards of HotSpot's Parallel Scavenge collector.
+const CardSize = 512
+
+// Config sizes the heap regions, in bytes. All sizes are rounded up to a
+// word multiple.
+type Config struct {
+	// EdenSize is the young-generation allocation buffer.
+	EdenSize uint64
+	// SurvivorSize sizes each of the two survivor semispaces.
+	SurvivorSize uint64
+	// OldSize is the tenured generation for promoted objects.
+	OldSize uint64
+	// BufferSize is the pinned tenured space that holds Skyway input
+	// buffers (§4.3: input buffers live in the old generation and are
+	// never moved or reclaimed until explicitly freed).
+	BufferSize uint64
+	// Layout selects the object header geometry.
+	Layout klass.Layout
+}
+
+// DefaultConfig returns a modest heap suitable for tests and examples.
+func DefaultConfig() Config {
+	return Config{
+		EdenSize:     8 << 20,
+		SurvivorSize: 1 << 20,
+		OldSize:      32 << 20,
+		BufferSize:   16 << 20,
+		Layout:       klass.Layout{Baddr: true},
+	}
+}
+
+// Region is a contiguous allocation area with a bump pointer.
+type Region struct {
+	Start Addr
+	End   Addr
+	Top   Addr
+}
+
+// Contains reports whether a lies within the region bounds.
+func (r *Region) Contains(a Addr) bool { return a >= r.Start && a < r.End }
+
+// Used returns the number of allocated bytes.
+func (r *Region) Used() uint64 { return uint64(r.Top - r.Start) }
+
+// Free returns the number of unallocated bytes.
+func (r *Region) Free() uint64 { return uint64(r.End - r.Top) }
+
+// Reset empties the region.
+func (r *Region) Reset() { r.Top = r.Start }
+
+// alloc bump-allocates size bytes, returning Null when the region is full.
+func (r *Region) alloc(size uint64) Addr {
+	if uint64(r.End-r.Top) < size {
+		return Null
+	}
+	a := r.Top
+	r.Top += Addr(size)
+	return a
+}
+
+// Heap is one simulated managed heap. It is owned by a single runtime; only
+// the atomic word operations (used for Skyway's concurrent baddr updates)
+// are safe for concurrent use.
+type Heap struct {
+	words  []uint64
+	layout klass.Layout
+
+	Eden     Region
+	From     Region // survivor from-space
+	To       Region // survivor to-space
+	Old      Region
+	Buffers  Region // pinned Skyway input-buffer space
+	cards    []byte // dirty card map covering the whole slab
+	sizeEstB uint64
+
+	// bufFree holds explicitly freed input-buffer chunks for reuse —
+	// §3.2: "Skyway does not reuse an old input buffer unless the
+	// developer explicitly frees the buffer". First-fit; chunk sizes are
+	// uniform enough in practice that fragmentation stays bounded.
+	bufFree []Region
+}
+
+// New builds a heap from cfg.
+func New(cfg Config) *Heap {
+	round := func(n uint64) uint64 { return (n + klass.WordSize - 1) &^ uint64(klass.WordSize-1) }
+	eden := round(cfg.EdenSize)
+	surv := round(cfg.SurvivorSize)
+	old := round(cfg.OldSize)
+	buf := round(cfg.BufferSize)
+	// Address 0 is reserved for null, so the slab starts one word in.
+	total := uint64(klass.WordSize) + eden + 2*surv + old + buf
+	h := &Heap{
+		words:  make([]uint64, total/klass.WordSize),
+		layout: cfg.Layout,
+		cards:  make([]byte, (total+CardSize-1)/CardSize),
+	}
+	cursor := Addr(klass.WordSize)
+	carve := func(n uint64) Region {
+		r := Region{Start: cursor, End: cursor + Addr(n), Top: cursor}
+		cursor += Addr(n)
+		return r
+	}
+	h.Eden = carve(eden)
+	h.From = carve(surv)
+	h.To = carve(surv)
+	h.Old = carve(old)
+	h.Buffers = carve(buf)
+	h.sizeEstB = total
+	return h
+}
+
+// Layout returns the header geometry of this heap.
+func (h *Heap) Layout() klass.Layout { return h.layout }
+
+// TotalBytes returns the slab size in bytes.
+func (h *Heap) TotalBytes() uint64 { return h.sizeEstB }
+
+// UsedBytes returns the sum of allocated bytes across regions.
+func (h *Heap) UsedBytes() uint64 {
+	return h.Eden.Used() + h.From.Used() + h.Old.Used() + h.Buffers.Used()
+}
+
+// --- word and sub-word access -------------------------------------------
+
+func (h *Heap) check(a Addr) uint64 {
+	i := uint64(a) >> 3
+	if a == Null || uint64(a)&7 != 0 || i >= uint64(len(h.words)) {
+		panic(fmt.Sprintf("heap: bad word address %#x", uint64(a)))
+	}
+	return i
+}
+
+// LoadWord reads the 8-byte word at a (a must be word-aligned).
+func (h *Heap) LoadWord(a Addr) uint64 { return h.words[h.check(a)] }
+
+// StoreWord writes the 8-byte word at a.
+func (h *Heap) StoreWord(a Addr, v uint64) { h.words[h.check(a)] = v }
+
+// AtomicLoadWord atomically reads the word at a.
+func (h *Heap) AtomicLoadWord(a Addr) uint64 { return atomic.LoadUint64(&h.words[h.check(a)]) }
+
+// CasWord performs a compare-and-swap on the word at a. Skyway uses this to
+// claim baddr words when multiple sender threads race on a shared object
+// (§4.2 "Support for Threads").
+func (h *Heap) CasWord(a Addr, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&h.words[h.check(a)], old, new)
+}
+
+// Load reads a field of the given kind at byte offset a+off. The returned
+// value holds the raw bits zero-extended to 64 bits. Sub-word fields are
+// little-endian within their word, so CopyOut/CopyIn round-trip exactly.
+func (h *Heap) Load(a Addr, off uint32, k klass.Kind) uint64 {
+	ba := uint64(a) + uint64(off)
+	sz := uint64(k.Size())
+	w := h.words[ba>>3]
+	shift := (ba & 7) * 8
+	switch sz {
+	case 8:
+		return w
+	case 4:
+		return (w >> shift) & 0xFFFFFFFF
+	case 2:
+		return (w >> shift) & 0xFFFF
+	case 1:
+		return (w >> shift) & 0xFF
+	}
+	panic("heap: invalid field kind")
+}
+
+// Store writes a field of the given kind at byte offset a+off.
+func (h *Heap) Store(a Addr, off uint32, k klass.Kind, v uint64) {
+	ba := uint64(a) + uint64(off)
+	sz := uint64(k.Size())
+	idx := ba >> 3
+	shift := (ba & 7) * 8
+	switch sz {
+	case 8:
+		h.words[idx] = v
+		return
+	case 4:
+		mask := uint64(0xFFFFFFFF) << shift
+		h.words[idx] = h.words[idx]&^mask | (v&0xFFFFFFFF)<<shift
+		return
+	case 2:
+		mask := uint64(0xFFFF) << shift
+		h.words[idx] = h.words[idx]&^mask | (v&0xFFFF)<<shift
+		return
+	case 1:
+		mask := uint64(0xFF) << shift
+		h.words[idx] = h.words[idx]&^mask | (v&0xFF)<<shift
+		return
+	}
+	panic("heap: invalid field kind")
+}
+
+// CopyOut serializes n bytes starting at a into dst, little-endian. n and a
+// must be word-aligned: object images always are. This is the "transfer the
+// entirety of each object" memcpy at the core of Skyway's sender.
+func (h *Heap) CopyOut(a Addr, n uint32, dst []byte) {
+	if uint32(len(dst)) < n {
+		panic("heap: CopyOut destination too small")
+	}
+	wi := uint64(a) >> 3
+	for i := uint32(0); i < n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], h.words[wi])
+		wi++
+	}
+}
+
+// CopyIn deserializes n bytes from src into the heap at a.
+func (h *Heap) CopyIn(a Addr, n uint32, src []byte) {
+	if uint32(len(src)) < n {
+		panic("heap: CopyIn source too small")
+	}
+	wi := uint64(a) >> 3
+	for i := uint32(0); i < n; i += 8 {
+		h.words[wi] = binary.LittleEndian.Uint64(src[i:])
+		wi++
+	}
+}
+
+// CopyWords copies n bytes (word multiple) from src to dst within the heap.
+// Regions may not overlap.
+func (h *Heap) CopyWords(dst, src Addr, n uint32) {
+	d := uint64(dst) >> 3
+	s := uint64(src) >> 3
+	copy(h.words[d:d+uint64(n)/8], h.words[s:s+uint64(n)/8])
+}
+
+// ZeroWords clears n bytes (word multiple) starting at a.
+func (h *Heap) ZeroWords(a Addr, n uint32) {
+	i := uint64(a) >> 3
+	for end := i + uint64(n)/8; i < end; i++ {
+		h.words[i] = 0
+	}
+}
+
+// --- allocation -----------------------------------------------------------
+
+// AllocYoung bump-allocates size bytes (word multiple) in eden, returning
+// Null when eden is exhausted; the runtime then triggers a scavenge.
+func (h *Heap) AllocYoung(size uint32) Addr { return h.Eden.alloc(uint64(size)) }
+
+// AllocOld bump-allocates in the old generation.
+func (h *Heap) AllocOld(size uint32) Addr { return h.Old.alloc(uint64(size)) }
+
+// AllocBuffer allocates in the pinned buffer space used for Skyway input
+// buffers. Buffer space is never compacted; chunks return to a free list
+// only on an explicit free (§3.2) and are reused first-fit.
+func (h *Heap) AllocBuffer(size uint32) Addr {
+	for i := range h.bufFree {
+		span := &h.bufFree[i]
+		if uint64(span.End-span.Start) >= uint64(size) {
+			a := span.Start
+			span.Start += Addr(size)
+			if span.Start == span.End {
+				h.bufFree = append(h.bufFree[:i], h.bufFree[i+1:]...)
+			}
+			return a
+		}
+	}
+	return h.Buffers.alloc(uint64(size))
+}
+
+// FreeBufferRange returns an explicitly freed input-buffer chunk to the
+// allocator for reuse.
+func (h *Heap) FreeBufferRange(a Addr, size uint32) {
+	if !h.Buffers.Contains(a) {
+		panic(fmt.Sprintf("heap: freeing non-buffer range %#x", uint64(a)))
+	}
+	end := a + Addr(size)
+	// Reclaim trivially when the chunk is the bump tail; otherwise list it.
+	if end == h.Buffers.Top {
+		h.Buffers.Top = a
+		return
+	}
+	h.bufFree = append(h.bufFree, Region{Start: a, End: end, Top: a})
+}
+
+// InYoung reports whether a is in eden or a survivor space.
+func (h *Heap) InYoung(a Addr) bool {
+	return h.Eden.Contains(a) || h.From.Contains(a) || h.To.Contains(a)
+}
+
+// InOld reports whether a is in the old generation proper.
+func (h *Heap) InOld(a Addr) bool { return h.Old.Contains(a) }
+
+// InBuffers reports whether a is in the pinned buffer space.
+func (h *Heap) InBuffers(a Addr) bool { return h.Buffers.Contains(a) }
+
+// --- card table ------------------------------------------------------------
+
+// DirtyCard marks the card containing a. The runtime's reference write
+// barrier calls this for stores into tenured space so the scavenger can find
+// old-to-young pointers, and the Skyway receiver calls it for every card of
+// a freshly absolutized input buffer (§4.3 "Interaction with GC").
+func (h *Heap) DirtyCard(a Addr) { h.cards[uint64(a)/CardSize] = 1 }
+
+// DirtyRange marks every card overlapping [a, a+n).
+func (h *Heap) DirtyRange(a Addr, n uint32) {
+	for c := uint64(a) / CardSize; c <= (uint64(a)+uint64(n)-1)/CardSize; c++ {
+		h.cards[c] = 1
+	}
+}
+
+// CardDirty reports whether the card containing a is dirty.
+func (h *Heap) CardDirty(a Addr) bool { return h.cards[uint64(a)/CardSize] != 0 }
+
+// RangeDirty reports whether any card overlapping [a, a+n) is dirty.
+func (h *Heap) RangeDirty(a Addr, n uint32) bool {
+	for c := uint64(a) / CardSize; c <= (uint64(a)+uint64(n)-1)/CardSize; c++ {
+		if h.cards[c] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CleanCards clears every card overlapping [a, a+n).
+func (h *Heap) CleanCards(a Addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	for c := uint64(a) / CardSize; c <= (uint64(a)+n-1)/CardSize; c++ {
+		h.cards[c] = 0
+	}
+}

@@ -1,0 +1,262 @@
+package heap
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"skyway/internal/klass"
+)
+
+func testHeap() *Heap {
+	return New(Config{
+		EdenSize:     1 << 20,
+		SurvivorSize: 64 << 10,
+		OldSize:      1 << 20,
+		BufferSize:   1 << 20,
+		Layout:       klass.Layout{Baddr: true},
+	})
+}
+
+func TestRegionsDisjointAndAligned(t *testing.T) {
+	h := testHeap()
+	regions := []*Region{&h.Eden, &h.From, &h.To, &h.Old, &h.Buffers}
+	prevEnd := Addr(klass.WordSize)
+	for i, r := range regions {
+		if r.Start != prevEnd {
+			t.Errorf("region %d starts at %#x, want %#x", i, uint64(r.Start), uint64(prevEnd))
+		}
+		if uint64(r.Start)%klass.WordSize != 0 {
+			t.Errorf("region %d start unaligned", i)
+		}
+		prevEnd = r.End
+	}
+}
+
+func TestNullIsNotAllocatable(t *testing.T) {
+	h := testHeap()
+	a := h.AllocYoung(16)
+	if a == Null {
+		t.Fatal("young alloc failed")
+	}
+	if a == 0 {
+		t.Fatal("allocated the null address")
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	h := testHeap()
+	a := h.AllocYoung(32)
+	h.StoreWord(a, 0xDEADBEEFCAFEBABE)
+	if got := h.LoadWord(a); got != 0xDEADBEEFCAFEBABE {
+		t.Errorf("LoadWord = %#x", got)
+	}
+}
+
+func TestSubWordFields(t *testing.T) {
+	h := testHeap()
+	a := h.AllocYoung(64)
+	// Pack 8 bytes into one word; they must not clobber each other.
+	for i := uint32(0); i < 8; i++ {
+		h.Store(a, 24+i, klass.Int8, uint64(0x10+i))
+	}
+	for i := uint32(0); i < 8; i++ {
+		if got := h.Load(a, 24+i, klass.Int8); got != uint64(0x10+i) {
+			t.Errorf("byte %d = %#x", i, got)
+		}
+	}
+	h.Store(a, 32, klass.Int16, 0xBEEF)
+	h.Store(a, 34, klass.Int16, 0xCAFE)
+	h.Store(a, 36, klass.Int32, 0x12345678)
+	if h.Load(a, 32, klass.Int16) != 0xBEEF || h.Load(a, 34, klass.Int16) != 0xCAFE {
+		t.Error("int16 fields corrupted")
+	}
+	if h.Load(a, 36, klass.Int32) != 0x12345678 {
+		t.Error("int32 field corrupted")
+	}
+}
+
+// Property: storing at any (offset, kind) then loading returns the value
+// truncated to the kind's width, and neighbouring bytes are untouched.
+func TestStoreLoadQuick(t *testing.T) {
+	h := testHeap()
+	a := h.AllocYoung(128)
+	kinds := []klass.Kind{klass.Int8, klass.Int16, klass.Int32, klass.Int64}
+	f := func(slot uint8, kindSel uint8, v uint64) bool {
+		kind := kinds[int(kindSel)%len(kinds)]
+		sz := kind.Size()
+		off := (uint32(slot) % (96 / sz)) * sz // aligned slot inside payload
+		h.ZeroWords(a, 128)
+		h.Store(a, off, kind, v)
+		want := v
+		switch sz {
+		case 1:
+			want &= 0xFF
+		case 2:
+			want &= 0xFFFF
+		case 4:
+			want &= 0xFFFFFFFF
+		}
+		if h.Load(a, off, kind) != want {
+			return false
+		}
+		// All other bytes must be zero.
+		var sum uint64
+		for w := uint32(0); w < 128; w += 8 {
+			sum |= h.LoadWord(a + Addr(w))
+		}
+		return sum == want<<((uint64(off)%8)*8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyOutCopyInRoundTrip(t *testing.T) {
+	h := testHeap()
+	a := h.AllocYoung(64)
+	for i := uint32(0); i < 64; i++ {
+		h.Store(a, i, klass.Int8, uint64(i*7+1))
+	}
+	buf := make([]byte, 64)
+	h.CopyOut(a, 64, buf)
+	b := h.AllocYoung(64)
+	h.CopyIn(b, 64, buf)
+	buf2 := make([]byte, 64)
+	h.CopyOut(b, 64, buf2)
+	if !bytes.Equal(buf, buf2) {
+		t.Error("CopyOut/CopyIn not byte-identical")
+	}
+}
+
+func TestMarkWordBits(t *testing.T) {
+	h := testHeap()
+	a := h.AllocYoung(32)
+	h.SetMark(a, 0)
+	if _, ok := h.HashOf(a); ok {
+		t.Error("fresh object claims a hash")
+	}
+	h.SetHash(a, 0x7FFFABCD)
+	if hv, ok := h.HashOf(a); !ok || hv != 0x7FFFABCD {
+		t.Errorf("HashOf = %#x,%v", hv, ok)
+	}
+	h.SetAge(a, 3)
+	h.SetMarked(a, true)
+	if h.Age(a) != 3 || !h.Marked(a) {
+		t.Error("age/mark bits wrong")
+	}
+	// Hash must survive age/mark mutation and transient-bit reset.
+	m := ResetTransientMarkBits(h.Mark(a))
+	h.SetMark(a, m)
+	if hv, ok := h.HashOf(a); !ok || hv != 0x7FFFABCD {
+		t.Error("hash lost by ResetTransientMarkBits")
+	}
+	if h.Marked(a) || h.Age(a) != 0 {
+		t.Error("transient bits not reset")
+	}
+}
+
+func TestForwarding(t *testing.T) {
+	h := testHeap()
+	a := h.AllocYoung(32)
+	b := h.AllocYoung(32)
+	h.SetMark(a, 0)
+	if _, fwd := h.Forwarded(a); fwd {
+		t.Error("fresh object claims forwarding")
+	}
+	h.SetForwarded(a, b)
+	to, fwd := h.Forwarded(a)
+	if !fwd || to != b {
+		t.Errorf("Forwarded = %#x,%v", uint64(to), fwd)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	h := testHeap()
+	n := 0
+	for h.AllocYoung(1024) != Null {
+		n++
+	}
+	if n != (1<<20)/1024 {
+		t.Errorf("allocated %d KiB chunks from a 1 MiB eden", n)
+	}
+}
+
+func TestCardTable(t *testing.T) {
+	h := testHeap()
+	a := h.AllocOld(4096)
+	if h.CardDirty(a) {
+		t.Error("card dirty before any store")
+	}
+	h.DirtyCard(a + 600) // second card of the object
+	if h.CardDirty(a) {
+		t.Error("wrong card dirtied")
+	}
+	if !h.RangeDirty(a, 4096) {
+		t.Error("RangeDirty missed the dirty card")
+	}
+	h.CleanCards(a, 4096)
+	if h.RangeDirty(a, 4096) {
+		t.Error("CleanCards left dirt")
+	}
+	h.DirtyRange(a, 4096)
+	for off := uint32(0); off < 4096; off += CardSize {
+		if !h.CardDirty(a + Addr(off)) {
+			t.Errorf("card at +%d not dirty after DirtyRange", off)
+		}
+	}
+}
+
+func TestAtomicCas(t *testing.T) {
+	h := testHeap()
+	a := h.AllocYoung(32)
+	h.StoreWord(a+16, 7)
+	if h.CasWord(a+16, 8, 9) {
+		t.Error("CAS succeeded with wrong expected value")
+	}
+	if !h.CasWord(a+16, 7, 9) {
+		t.Error("CAS failed with right expected value")
+	}
+	if h.LoadWord(a+16) != 9 {
+		t.Error("CAS did not store")
+	}
+}
+
+func TestBufferFreeListReuse(t *testing.T) {
+	h := testHeap()
+	a := h.AllocBuffer(4096)
+	b := h.AllocBuffer(4096)
+	if a == Null || b == Null {
+		t.Fatal("buffer allocs failed")
+	}
+	topBefore := h.Buffers.Top
+	// Freeing the bump tail rewinds the top.
+	h.FreeBufferRange(b, 4096)
+	if h.Buffers.Top != topBefore-4096 {
+		t.Error("tail free did not rewind the bump pointer")
+	}
+	b2 := h.AllocBuffer(4096)
+	if b2 != b {
+		t.Errorf("tail realloc got %#x, want %#x", uint64(b2), uint64(b))
+	}
+	// Freeing an interior chunk lists it; a smaller alloc carves it.
+	h.FreeBufferRange(a, 4096)
+	c := h.AllocBuffer(1024)
+	if c != a {
+		t.Errorf("first-fit alloc got %#x, want %#x", uint64(c), uint64(a))
+	}
+	d := h.AllocBuffer(3072)
+	if d != a+1024 {
+		t.Errorf("split remainder alloc got %#x, want %#x", uint64(d), uint64(a+1024))
+	}
+}
+
+func TestFreeBufferOutsideSpacePanics(t *testing.T) {
+	h := testHeap()
+	defer func() {
+		if recover() == nil {
+			t.Error("freeing non-buffer range did not panic")
+		}
+	}()
+	h.FreeBufferRange(h.Old.Start, 64)
+}

@@ -1,0 +1,221 @@
+package klass
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindSizes(t *testing.T) {
+	want := map[Kind]uint32{
+		Bool: 1, Int8: 1, Int16: 2, Char: 2,
+		Int32: 4, Float32: 4, Int64: 8, Float64: 8, Ref: 8,
+	}
+	for k, sz := range want {
+		if got := k.Size(); got != sz {
+			t.Errorf("%v.Size() = %d, want %d", k, got, sz)
+		}
+	}
+	if Invalid.Size() != 0 {
+		t.Errorf("Invalid.Size() = %d, want 0", Invalid.Size())
+	}
+}
+
+func TestClassDefValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		def  ClassDef
+		ok   bool
+	}{
+		{"empty name", ClassDef{}, false},
+		{"array name", ClassDef{Name: "int[]"}, false},
+		{"plain", ClassDef{Name: "A", Fields: []FieldDef{{Name: "x", Kind: Int32}}}, true},
+		{"dup field", ClassDef{Name: "A", Fields: []FieldDef{{Name: "x", Kind: Int32}, {Name: "x", Kind: Int64}}}, false},
+		{"ref without class", ClassDef{Name: "A", Fields: []FieldDef{{Name: "r", Kind: Ref}}}, false},
+		{"prim with class", ClassDef{Name: "A", Fields: []FieldDef{{Name: "x", Kind: Int32, Class: "B"}}}, false},
+		{"ref with class", ClassDef{Name: "A", Fields: []FieldDef{{Name: "r", Kind: Ref, Class: "B"}}}, true},
+	}
+	for _, c := range cases {
+		err := c.def.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestPathDefineAndLookup(t *testing.T) {
+	p := NewPath()
+	if err := p.Define(&ClassDef{Name: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Define(&ClassDef{Name: "A"}); err == nil {
+		t.Fatal("duplicate Define succeeded")
+	}
+	if p.Lookup("A") == nil {
+		t.Fatal("Lookup(A) = nil")
+	}
+	if p.Lookup("B") != nil {
+		t.Fatal("Lookup(B) != nil")
+	}
+}
+
+func TestArrayNames(t *testing.T) {
+	cases := []struct {
+		elem  Kind
+		class string
+		want  string
+	}{
+		{Int32, "", "int[]"},
+		{Int64, "", "long[]"},
+		{Char, "", "char[]"},
+		{Ref, "com.example.Date", "com.example.Date[]"},
+	}
+	for _, c := range cases {
+		name := ArrayName(c.elem, c.class)
+		if name != c.want {
+			t.Errorf("ArrayName(%v,%q) = %q, want %q", c.elem, c.class, name, c.want)
+		}
+		elem, class, ok := ParseArrayName(name)
+		if !ok || elem != c.elem || class != c.class {
+			t.Errorf("ParseArrayName(%q) = (%v,%q,%v)", name, elem, class, ok)
+		}
+	}
+	if _, _, ok := ParseArrayName("NotAnArray"); ok {
+		t.Error("ParseArrayName accepted a non-array name")
+	}
+}
+
+func mustResolve(t *testing.T, def *ClassDef, super *Klass, l Layout) *Klass {
+	t.Helper()
+	k, err := ResolveLayout(def, super, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestLayoutPacking(t *testing.T) {
+	l := Layout{Baddr: true}
+	def := &ClassDef{Name: "P", Fields: []FieldDef{
+		{Name: "b", Kind: Int8},
+		{Name: "l", Kind: Int64},
+		{Name: "s", Kind: Int16},
+		{Name: "i", Kind: Int32},
+		{Name: "r", Kind: Ref, Class: "P"},
+	}}
+	k := mustResolve(t, def, nil, l)
+	// Largest-first: l(8) r(8) i(4) s(2) b(1) starting at header end 24.
+	offs := map[string]uint32{"l": 24, "r": 32, "i": 40, "s": 44, "b": 46}
+	for name, want := range offs {
+		if got := k.FieldByName(name).Offset; got != want {
+			t.Errorf("field %s offset = %d, want %d", name, got, want)
+		}
+	}
+	if k.Size != 48 { // 47 used, padded to 48
+		t.Errorf("Size = %d, want 48", k.Size)
+	}
+	if len(k.RefOffsets) != 1 || k.RefOffsets[0] != 32 {
+		t.Errorf("RefOffsets = %v", k.RefOffsets)
+	}
+}
+
+func TestLayoutInheritance(t *testing.T) {
+	l := Layout{Baddr: true}
+	sup := mustResolve(t, &ClassDef{Name: "S", Fields: []FieldDef{{Name: "x", Kind: Int32}}}, nil, l)
+	sub := mustResolve(t, &ClassDef{Name: "T", Super: "S", Fields: []FieldDef{{Name: "y", Kind: Int64}}}, sup, l)
+	if sub.FieldByName("x").Offset != sup.FieldByName("x").Offset {
+		t.Error("inherited field moved")
+	}
+	if sub.FieldByName("y").Offset < sup.Size {
+		t.Error("subclass field overlaps superclass suffix")
+	}
+	if sub.Super != sup {
+		t.Error("Super link wrong")
+	}
+}
+
+func TestLayoutWithoutBaddr(t *testing.T) {
+	with := Layout{Baddr: true}
+	without := Layout{Baddr: false}
+	def := &ClassDef{Name: "A", Fields: []FieldDef{{Name: "x", Kind: Int64}}}
+	kw := mustResolve(t, def, nil, with)
+	ko := mustResolve(t, def, nil, without)
+	if kw.Size-ko.Size != 8 {
+		t.Errorf("baddr overhead = %d, want 8", kw.Size-ko.Size)
+	}
+	if without.OffBaddr() != -1 {
+		t.Errorf("OffBaddr without baddr = %d, want -1", without.OffBaddr())
+	}
+	if with.ArrayHeaderSize() != 32 || without.ArrayHeaderSize() != 24 {
+		t.Errorf("array header sizes = %d/%d", with.ArrayHeaderSize(), without.ArrayHeaderSize())
+	}
+}
+
+func TestArrayKlassSizes(t *testing.T) {
+	l := Layout{Baddr: true}
+	ka, err := ResolveArray("int[]", l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka.InstanceBytes(3) != Pad(32+12) {
+		t.Errorf("int[3] bytes = %d", ka.InstanceBytes(3))
+	}
+	kr, err := ResolveArray("X[]", l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kr.Elem != Ref || kr.ElemClass != "X" {
+		t.Errorf("ref array elem = %v %q", kr.Elem, kr.ElemClass)
+	}
+	if kr.InstanceBytes(2) != 32+16 {
+		t.Errorf("X[2] bytes = %d", kr.InstanceBytes(2))
+	}
+}
+
+// Property: every resolved layout places fields without overlap, aligned to
+// their size, inside the instance, and Size is word-padded.
+func TestLayoutInvariantsQuick(t *testing.T) {
+	kinds := []Kind{Bool, Int8, Int16, Char, Int32, Float32, Int64, Float64, Ref}
+	f := func(sel []uint8) bool {
+		if len(sel) > 24 {
+			sel = sel[:24]
+		}
+		def := &ClassDef{Name: "Q"}
+		for i, s := range sel {
+			kind := kinds[int(s)%len(kinds)]
+			fd := FieldDef{Name: fieldName(i), Kind: kind}
+			if kind == Ref {
+				fd.Class = "Q"
+			}
+			def.Fields = append(def.Fields, fd)
+		}
+		k, err := ResolveLayout(def, nil, Layout{Baddr: true})
+		if err != nil {
+			return false
+		}
+		if k.Size%WordSize != 0 {
+			return false
+		}
+		type span struct{ lo, hi uint32 }
+		var spans []span
+		for _, fl := range k.Fields {
+			sz := fl.Kind.Size()
+			if fl.Offset%sz != 0 || fl.Offset < 24 || fl.Offset+sz > k.Size {
+				return false
+			}
+			spans = append(spans, span{fl.Offset, fl.Offset + sz})
+		}
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fieldName(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }

@@ -1,0 +1,167 @@
+// Package metrics defines the run-time breakdown the paper's evaluation
+// reports (Figures 3 and 8): computation time, serialization time, shuffle
+// write I/O, deserialization time, read I/O (network included), plus byte
+// accounting split into locally and remotely fetched shuffle data.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Breakdown is one run's cost decomposition. CPU-side components (Compute,
+// Ser, Deser) are measured; I/O components are modelled from byte counts by
+// a netsim.CostModel, matching the paper's bandwidth-bound I/O.
+type Breakdown struct {
+	Compute time.Duration
+	Ser     time.Duration
+	WriteIO time.Duration
+	Deser   time.Duration
+	ReadIO  time.Duration
+
+	// ShuffleBytes is the total serialized shuffle volume; LocalBytes and
+	// RemoteBytes split fetches by origin (Figure 3(b)).
+	ShuffleBytes int64
+	LocalBytes   int64
+	RemoteBytes  int64
+
+	// Records counts shuffled records, for sanity checks across codecs.
+	Records int64
+}
+
+// Total returns the end-to-end time.
+func (b Breakdown) Total() time.Duration {
+	return b.Compute + b.Ser + b.WriteIO + b.Deser + b.ReadIO
+}
+
+// Add accumulates other into b.
+func (b *Breakdown) Add(other Breakdown) {
+	b.Compute += other.Compute
+	b.Ser += other.Ser
+	b.WriteIO += other.WriteIO
+	b.Deser += other.Deser
+	b.ReadIO += other.ReadIO
+	b.ShuffleBytes += other.ShuffleBytes
+	b.LocalBytes += other.LocalBytes
+	b.RemoteBytes += other.RemoteBytes
+	b.Records += other.Records
+}
+
+// SDShare returns the fraction of total time spent in S/D functions — the
+// quantity §2.2 reports as >30% for Spark.
+func (b Breakdown) SDShare() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Ser+b.Deser) / float64(t)
+}
+
+// String renders a one-line summary.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total=%v compute=%v ser=%v writeIO=%v deser=%v readIO=%v bytes=%d (local=%d remote=%d)",
+		b.Total().Round(time.Millisecond), b.Compute.Round(time.Millisecond), b.Ser.Round(time.Millisecond),
+		b.WriteIO.Round(time.Millisecond), b.Deser.Round(time.Millisecond), b.ReadIO.Round(time.Millisecond),
+		b.ShuffleBytes, b.LocalBytes, b.RemoteBytes)
+}
+
+// Ratio is one normalized comparison entry (a cell of Table 2 / Table 4).
+type Ratio struct {
+	Overall, Ser, WriteIO, Deser, ReadIO, Size float64
+}
+
+// Normalize divides b's components by base's, producing Table 2-style
+// normalized performance (lower is better; size > 1 means more bytes).
+func Normalize(b, base Breakdown) Ratio {
+	div := func(x, y time.Duration) float64 {
+		if y == 0 {
+			return math.NaN()
+		}
+		return float64(x) / float64(y)
+	}
+	sz := math.NaN()
+	if base.ShuffleBytes > 0 {
+		sz = float64(b.ShuffleBytes) / float64(base.ShuffleBytes)
+	}
+	return Ratio{
+		Overall: div(b.Total(), base.Total()),
+		Ser:     div(b.Ser, base.Ser),
+		WriteIO: div(b.WriteIO, base.WriteIO),
+		Deser:   div(b.Deser, base.Deser),
+		ReadIO:  div(b.ReadIO, base.ReadIO),
+		Size:    sz,
+	}
+}
+
+// Summary aggregates ratios into the min~max(geomean) cells of Table 2.
+type Summary struct{ ratios []Ratio }
+
+// Add appends one normalized run.
+func (s *Summary) Add(r Ratio) { s.ratios = append(s.ratios, r) }
+
+// Len returns the number of accumulated ratios.
+func (s *Summary) Len() int { return len(s.ratios) }
+
+type col struct {
+	name string
+	get  func(Ratio) float64
+}
+
+var columns = []col{
+	{"Overall", func(r Ratio) float64 { return r.Overall }},
+	{"Ser", func(r Ratio) float64 { return r.Ser }},
+	{"Write", func(r Ratio) float64 { return r.WriteIO }},
+	{"Des", func(r Ratio) float64 { return r.Deser }},
+	{"Read", func(r Ratio) float64 { return r.ReadIO }},
+	{"Size", func(r Ratio) float64 { return r.Size }},
+}
+
+// Cell formats one column as "lo ~ hi (geomean)" over the added ratios,
+// skipping NaNs.
+func (s *Summary) Cell(name string) string {
+	for _, c := range columns {
+		if c.name != name {
+			continue
+		}
+		var vals []float64
+		for _, r := range s.ratios {
+			v := c.get(r)
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return "-"
+		}
+		sort.Float64s(vals)
+		return fmt.Sprintf("%.2f ~ %.2f (%.2f)", vals[0], vals[len(vals)-1], Geomean(vals))
+	}
+	return "-"
+}
+
+// Row renders all columns, Table 2 style.
+func (s *Summary) Row() string {
+	parts := make([]string, len(columns))
+	for i, c := range columns {
+		parts[i] = c.name + "=" + s.Cell(c.name)
+	}
+	return strings.Join(parts, "  ")
+}
+
+// Geomean returns the geometric mean of vals.
+func Geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	var logs float64
+	for _, v := range vals {
+		if v <= 0 {
+			return math.NaN()
+		}
+		logs += math.Log(v)
+	}
+	return math.Exp(logs / float64(len(vals)))
+}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sample() Breakdown {
+	return Breakdown{
+		Compute: 100 * time.Millisecond,
+		Ser:     40 * time.Millisecond,
+		WriteIO: 10 * time.Millisecond,
+		Deser:   30 * time.Millisecond,
+		ReadIO:  20 * time.Millisecond,
+
+		ShuffleBytes: 1000,
+		LocalBytes:   400,
+		RemoteBytes:  600,
+		Records:      10,
+	}
+}
+
+func TestTotalAndAdd(t *testing.T) {
+	b := sample()
+	if b.Total() != 200*time.Millisecond {
+		t.Errorf("Total = %v", b.Total())
+	}
+	var acc Breakdown
+	acc.Add(b)
+	acc.Add(b)
+	if acc.Total() != 400*time.Millisecond || acc.ShuffleBytes != 2000 || acc.Records != 20 {
+		t.Errorf("Add accumulated wrong: %+v", acc)
+	}
+}
+
+func TestSDShare(t *testing.T) {
+	b := sample()
+	want := float64(70) / 200
+	if math.Abs(b.SDShare()-want) > 1e-9 {
+		t.Errorf("SDShare = %f, want %f", b.SDShare(), want)
+	}
+	var zero Breakdown
+	if zero.SDShare() != 0 {
+		t.Error("zero breakdown SDShare not 0")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	b := sample()
+	half := Breakdown{
+		Compute: 50 * time.Millisecond,
+		Ser:     20 * time.Millisecond,
+		WriteIO: 5 * time.Millisecond,
+		Deser:   15 * time.Millisecond,
+		ReadIO:  10 * time.Millisecond,
+
+		ShuffleBytes: 500,
+	}
+	r := Normalize(half, b)
+	if math.Abs(r.Overall-0.5) > 1e-9 || math.Abs(r.Size-0.5) > 1e-9 {
+		t.Errorf("Normalize = %+v", r)
+	}
+	// Zero base yields NaN, not a panic or Inf.
+	r = Normalize(b, Breakdown{})
+	if !math.IsNaN(r.Ser) || !math.IsNaN(r.Size) {
+		t.Errorf("zero-base Normalize = %+v", r)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("Geomean(2,8) = %f", g)
+	}
+	if !math.IsNaN(Geomean(nil)) {
+		t.Error("Geomean(nil) not NaN")
+	}
+	if !math.IsNaN(Geomean([]float64{1, -1})) {
+		t.Error("Geomean with negative not NaN")
+	}
+}
+
+func TestSummaryCells(t *testing.T) {
+	var s Summary
+	s.Add(Ratio{Overall: 0.5, Ser: 0.4, WriteIO: 1.0, Deser: 0.2, ReadIO: 0.9, Size: 1.5})
+	s.Add(Ratio{Overall: 2.0, Ser: 0.9, WriteIO: 1.2, Deser: 0.3, ReadIO: 1.1, Size: 3.0})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	cell := s.Cell("Overall")
+	if !strings.Contains(cell, "0.50 ~ 2.00") || !strings.Contains(cell, "(1.00)") {
+		t.Errorf("Overall cell = %q", cell)
+	}
+	if s.Cell("nope") != "-" {
+		t.Error("unknown column did not return placeholder")
+	}
+	row := s.Row()
+	for _, col := range []string{"Overall", "Ser", "Write", "Des", "Read", "Size"} {
+		if !strings.Contains(row, col+"=") {
+			t.Errorf("Row missing %s: %q", col, row)
+		}
+	}
+}
+
+func TestSummarySkipsNaN(t *testing.T) {
+	var s Summary
+	s.Add(Ratio{Overall: 1.0, Ser: math.NaN()})
+	s.Add(Ratio{Overall: 2.0, Ser: 0.5})
+	if cell := s.Cell("Ser"); !strings.Contains(cell, "0.50 ~ 0.50") {
+		t.Errorf("Ser cell = %q", cell)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	s := sample().String()
+	for _, frag := range []string{"total=200ms", "ser=40ms", "deser=30ms", "local=400", "remote=600"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q: %s", frag, s)
+		}
+	}
+}
+
+// Property: normalization by self is all ones (when every component is
+// nonzero), and Geomean of [x] is x.
+func TestNormalizeSelfQuick(t *testing.T) {
+	f := func(a, b, c, d, e uint16, n uint16) bool {
+		bd := Breakdown{
+			Compute: time.Duration(a) + 1, Ser: time.Duration(b) + 1,
+			WriteIO: time.Duration(c) + 1, Deser: time.Duration(d) + 1,
+			ReadIO: time.Duration(e) + 1, ShuffleBytes: int64(n) + 1,
+		}
+		r := Normalize(bd, bd)
+		ok := func(v float64) bool { return math.Abs(v-1) < 1e-9 }
+		return ok(r.Overall) && ok(r.Ser) && ok(r.WriteIO) && ok(r.Deser) && ok(r.ReadIO) && ok(r.Size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package registry
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Snapshot/Restore support the §4.1 fault-tolerance story: the application
+// (e.g. Spark) restarts the cluster after a crash and relaunches the driver
+// registry; persisting the type registry lets the restarted driver hand out
+// the same IDs, so shuffle files written before the crash stay readable.
+
+// Snapshot writes the registry's full contents to w in ID order.
+func (r *Registry) Snapshot(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, len(r.names))
+	copy(names, r.names)
+	r.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("SKYREG1\n"); err != nil {
+		return err
+	}
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(names)))
+	if _, err := bw.Write(n[:]); err != nil {
+		return err
+	}
+	for _, name := range names {
+		binary.BigEndian.PutUint32(n[:], uint32(len(name)))
+		if _, err := bw.Write(n[:]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore loads a snapshot into an empty registry, reproducing the exact
+// name → ID assignment. Restoring into a non-empty registry is an error:
+// IDs already handed out could silently change meaning.
+func Restore(r io.Reader) (*Registry, error) {
+	br := bufio.NewReader(r)
+	header := make([]byte, 8)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("registry: reading snapshot header: %w", err)
+	}
+	if string(header) != "SKYREG1\n" {
+		return nil, fmt.Errorf("registry: bad snapshot header %q", header)
+	}
+	var n [4]byte
+	if _, err := io.ReadFull(br, n[:]); err != nil {
+		return nil, err
+	}
+	count := binary.BigEndian.Uint32(n[:])
+	if count > 1<<24 {
+		return nil, fmt.Errorf("registry: implausible snapshot size %d", count)
+	}
+	reg := NewRegistry()
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(br, n[:]); err != nil {
+			return nil, err
+		}
+		ln := binary.BigEndian.Uint32(n[:])
+		if ln > 1<<20 {
+			return nil, fmt.Errorf("registry: implausible name length %d", ln)
+		}
+		name := make([]byte, ln)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		if id := reg.LookupOrAssign(string(name)); id != int32(i) {
+			return nil, fmt.Errorf("registry: snapshot entry %d (%s) resolved to ID %d", i, name, id)
+		}
+	}
+	return reg, nil
+}

@@ -1,0 +1,270 @@
+package registry
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Wire protocol (Algorithm 1's driver daemon): length-free binary frames on
+// a persistent TCP connection, one request/response pair at a time.
+//
+//	request  := op(u8) payload
+//	op 'V' (REQUEST_VIEW): no payload  → resp: count(u32) {id(i32) name(str)}*
+//	op 'L' (LOOKUP):       name(str)   → resp: id(i32)
+//	op 'R' (REVERSE):      id(i32)     → resp: name(str)
+//	str := len(u32) bytes
+const (
+	opView    = 'V'
+	opLookup  = 'L'
+	opReverse = 'R'
+)
+
+func writeStr(w io.Writer, s string) error {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(s)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readStr(r io.Reader) (string, error) {
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return "", err
+	}
+	ln := binary.BigEndian.Uint32(n[:])
+	if ln > 1<<20 {
+		return "", fmt.Errorf("registry: implausible string length %d", ln)
+	}
+	b := make([]byte, ln)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func writeI32(w io.Writer, v int32) error {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(v))
+	_, err := w.Write(b[:])
+	return err
+}
+
+func readI32(r io.Reader) (int32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return int32(binary.BigEndian.Uint32(b[:])), nil
+}
+
+// Server exposes a Registry over TCP — the driver's daemon thread.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+}
+
+// Serve starts accepting worker connections on ln. It returns immediately;
+// call Close to stop.
+func Serve(reg *Registry, ln net.Listener) *Server {
+	s := &Server{reg: reg, ln: ln, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server, severs outstanding worker connections, and waits
+// for the handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		op, err := r.ReadByte()
+		if err != nil {
+			return
+		}
+		switch op {
+		case opView:
+			view := s.reg.View()
+			if err := writeI32(w, int32(len(view))); err != nil {
+				return
+			}
+			for name, id := range view {
+				if err := writeI32(w, id); err != nil {
+					return
+				}
+				if err := writeStr(w, name); err != nil {
+					return
+				}
+			}
+		case opLookup:
+			name, err := readStr(r)
+			if err != nil {
+				return
+			}
+			if err := writeI32(w, s.reg.LookupOrAssign(name)); err != nil {
+				return
+			}
+		case opReverse:
+			id, err := readI32(r)
+			if err != nil {
+				return
+			}
+			name, ok := s.reg.NameOf(id)
+			if !ok {
+				name = "" // empty string signals unknown
+			}
+			if err := writeStr(w, name); err != nil {
+				return
+			}
+		default:
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// TCPClient is a worker's connection to a remote driver registry.
+type TCPClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a driver registry server.
+func Dial(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("registry: dial %s: %w", addr, err)
+	}
+	return &TCPClient{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// RequestView implements Client.
+func (c *TCPClient) RequestView() (map[string]int32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.w.WriteByte(opView); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	n, err := readI32(c.r)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int32, n)
+	for i := int32(0); i < n; i++ {
+		id, err := readI32(c.r)
+		if err != nil {
+			return nil, err
+		}
+		name, err := readStr(c.r)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = id
+	}
+	return out, nil
+}
+
+// Lookup implements Client.
+func (c *TCPClient) Lookup(name string) (int32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.w.WriteByte(opLookup); err != nil {
+		return -1, err
+	}
+	if err := writeStr(c.w, name); err != nil {
+		return -1, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return -1, err
+	}
+	return readI32(c.r)
+}
+
+// Reverse implements Client.
+func (c *TCPClient) Reverse(id int32) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.w.WriteByte(opReverse); err != nil {
+		return "", err
+	}
+	if err := writeI32(c.w, id); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	name, err := readStr(c.r)
+	if err != nil {
+		return "", err
+	}
+	if name == "" {
+		return "", fmt.Errorf("registry: unknown type ID %d", id)
+	}
+	return name, nil
+}
+
+// Close implements Client.
+func (c *TCPClient) Close() error { return c.conn.Close() }

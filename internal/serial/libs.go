@@ -1,0 +1,199 @@
+package serial
+
+// The library lineup reproduces the design space of Figure 7: one codec per
+// design point rather than the paper's 90 near-duplicate libraries (see
+// DESIGN.md, substitutions). Speed ordering follows from the mechanisms:
+// schema-compiled > manual > cached-accessor registered > reflective with
+// descriptors > name-per-object.
+
+// JavaCodec mimics java.io.ObjectOutputStream: full class descriptors with
+// field names and superclass chains, reflective field access by name, fixed
+// integer widths, and receiver-side rehashing of hash structures.
+func JavaCodec() Codec {
+	return NewCodec(Strategy{
+		LibName:      "java",
+		Type:         TypeFullDescriptor,
+		Access:       AccessReflective,
+		Varint:       false,
+		RehashOnRead: true,
+	})
+}
+
+// KryoCodec mimics Kryo's default FieldSerializer: registered integer type
+// IDs, cached field accessors, varint integers, rehash on read.
+func KryoCodec(reg *Registration) Codec {
+	return NewCodec(Strategy{
+		LibName:      "kryo",
+		Type:         TypeRegisteredID,
+		Access:       AccessCached,
+		Varint:       true,
+		RehashOnRead: true,
+		Reg:          reg,
+	})
+}
+
+// KryoManualCodec mimics Kryo with hand-written per-class serializers — the
+// strongest Kryo configuration in Figure 7 (kryo-manual).
+func KryoManualCodec(reg *Registration) Codec {
+	return NewCodec(Strategy{
+		LibName:      "kryo-manual",
+		Type:         TypeRegisteredID,
+		Access:       AccessGenerated,
+		Varint:       true,
+		RehashOnRead: true,
+		Reg:          reg,
+	})
+}
+
+// KryoOptCodec mimics kryo-opt: registered IDs and cached accessors with
+// fixed-width encoding (faster, larger).
+func KryoOptCodec(reg *Registration) Codec {
+	return NewCodec(Strategy{
+		LibName:      "kryo-opt",
+		Type:         TypeRegisteredID,
+		Access:       AccessCached,
+		Varint:       false,
+		RehashOnRead: true,
+		Reg:          reg,
+	})
+}
+
+// ColferCodec mimics Colfer's compiler-generated marshalers — the closest
+// contender to Skyway in Figure 7: schema-compiled access, registered IDs,
+// fixed-width primitives with bulk array copies.
+func ColferCodec(reg *Registration) Codec {
+	return NewCodec(Strategy{
+		LibName:      "colfer",
+		Type:         TypeRegisteredID,
+		Access:       AccessGenerated,
+		Varint:       false,
+		RehashOnRead: true,
+		Reg:          reg,
+	})
+}
+
+// ProtostuffCodec mimics protostuff's schema-generated codecs with varint
+// wire format.
+func ProtostuffCodec(reg *Registration) Codec {
+	return NewCodec(Strategy{
+		LibName:      "protostuff",
+		Type:         TypeRegisteredID,
+		Access:       AccessGenerated,
+		Varint:       true,
+		RehashOnRead: true,
+		Reg:          reg,
+	})
+}
+
+// ProtostuffRuntimeCodec mimics protostuff-runtime: schema derived at run
+// time, so field access is cached-reflective rather than generated.
+func ProtostuffRuntimeCodec(reg *Registration) Codec {
+	return NewCodec(Strategy{
+		LibName:      "protostuff-runtime",
+		Type:         TypeRegisteredID,
+		Access:       AccessCached,
+		Varint:       true,
+		RehashOnRead: true,
+		Reg:          reg,
+	})
+}
+
+// DatakernelCodec mimics datakernel's bytecode-generated serializers:
+// generated access, fixed width.
+func DatakernelCodec(reg *Registration) Codec {
+	return NewCodec(Strategy{
+		LibName:      "datakernel",
+		Type:         TypeRegisteredID,
+		Access:       AccessGenerated,
+		Varint:       false,
+		RehashOnRead: true,
+		Reg:          reg,
+	})
+}
+
+// AvroGenericCodec mimics avro-generic: schema resolved per record through
+// reflective-by-name access, varint encoding.
+func AvroGenericCodec(reg *Registration) Codec {
+	return NewCodec(Strategy{
+		LibName:      "avro-generic",
+		Type:         TypeRegisteredID,
+		Access:       AccessReflective,
+		Varint:       true,
+		RehashOnRead: true,
+		Reg:          reg,
+	})
+}
+
+// ThriftCodec mimics thrift: generated access with per-field tags; we model
+// it as cached access + varint.
+func ThriftCodec(reg *Registration) Codec {
+	return NewCodec(Strategy{
+		LibName:      "thrift",
+		Type:         TypeRegisteredID,
+		Access:       AccessCached,
+		Varint:       true,
+		RehashOnRead: true,
+		Reg:          reg,
+	})
+}
+
+// JsonLikeCodec mimics name-string-per-object text-ish formats (the slow
+// tail of Figure 7): class name with every object, reflective access.
+func JsonLikeCodec() Codec {
+	return NewCodec(Strategy{
+		LibName:      "json-databind",
+		Type:         TypeNameString,
+		Access:       AccessReflective,
+		Varint:       false,
+		RehashOnRead: true,
+	})
+}
+
+// FSTCodec mimics fst-flat-pre: Java-compatible class descriptors but with
+// generated (preregistered) field access.
+func FSTCodec() Codec {
+	return NewCodec(Strategy{
+		LibName:      "fst-flat-pre",
+		Type:         TypeFullDescriptor,
+		Access:       AccessGenerated,
+		Varint:       false,
+		RehashOnRead: true,
+	})
+}
+
+// SmileCodec mimics smile/jackson databind: binary JSON with class names on
+// the wire and cached property accessors, varint-packed numbers.
+func SmileCodec() Codec {
+	return NewCodec(Strategy{
+		LibName:      "smile-databind",
+		Type:         TypeNameString,
+		Access:       AccessCached,
+		Varint:       true,
+		RehashOnRead: true,
+	})
+}
+
+// CBORCodec mimics cbor/jackson databind: binary JSON with class names and
+// cached accessors, fixed-width numbers.
+func CBORCodec() Codec {
+	return NewCodec(Strategy{
+		LibName:      "cbor-databind",
+		Type:         TypeNameString,
+		Access:       AccessCached,
+		Varint:       false,
+		RehashOnRead: true,
+	})
+}
+
+// WoblyCodec mimics wobly: registered integer IDs but runtime-reflective
+// field access with fixed-width encoding.
+func WoblyCodec(reg *Registration) Codec {
+	return NewCodec(Strategy{
+		LibName:      "wobly",
+		Type:         TypeRegisteredID,
+		Access:       AccessReflective,
+		Varint:       false,
+		RehashOnRead: true,
+		Reg:          reg,
+	})
+}

@@ -1,0 +1,71 @@
+package serial
+
+import (
+	"bytes"
+	"testing"
+
+	"skyway/internal/datagen"
+)
+
+// Robustness: decoders fed truncated or corrupted streams must return
+// errors, never panic or fabricate objects.
+
+func TestDecodersSurviveTruncation(t *testing.T) {
+	snd, rcv := testPair(t)
+	m := buildMedia(t, snd, "http://example/x", 10, 20)
+	for _, c := range allCodecs() {
+		var buf bytes.Buffer
+		enc := c.NewEncoder(snd, &buf)
+		if err := enc.Write(m); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		enc.Flush()
+		full := buf.Bytes()
+		for cut := 1; cut < len(full); cut += 11 {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s: panic on truncation at %d: %v", c.Name(), cut, r)
+					}
+				}()
+				dec := c.NewDecoder(rcv, bytes.NewReader(full[:cut]))
+				if _, err := dec.Read(); err == nil {
+					t.Errorf("%s: truncation at %d decoded successfully", c.Name(), cut)
+				}
+			}()
+		}
+	}
+}
+
+func TestDecodersSurviveBitFlips(t *testing.T) {
+	snd, rcv := testPair(t)
+	m := buildMedia(t, snd, "u", 1, 2)
+	rng := datagen.NewRNG(123)
+	for _, c := range allCodecs() {
+		var buf bytes.Buffer
+		enc := c.NewEncoder(snd, &buf)
+		if err := enc.Write(m); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		enc.Flush()
+		orig := buf.Bytes()
+		for trial := 0; trial < 40; trial++ {
+			mut := append([]byte(nil), orig...)
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+			func() {
+				defer func() {
+					// A panic is a bug; an error or even a
+					// silently different object is acceptable
+					// (bit flips in payload bytes are not
+					// detectable without checksums, which none
+					// of the modelled libraries carry).
+					if r := recover(); r != nil {
+						t.Fatalf("%s: panic on bit flip: %v", c.Name(), r)
+					}
+				}()
+				dec := c.NewDecoder(rcv, bytes.NewReader(mut))
+				_, _ = dec.Read()
+			}()
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package serial implements the serialization/deserialization baselines the
+// paper compares Skyway against (§2, §5.1): a Java-serializer-like codec
+// (per-stream class descriptors with full field metadata, reflective
+// field access by name, receiver-side rehashing), a Kryo-like codec
+// (manually registered integer type IDs, cached field accessors), hand-
+// written "manual" codecs, and schema-compiled codecs in the Colfer /
+// Protostuff mould. All of them operate on the same simulated managed heap
+// as Skyway, so the cost differences come from the mechanisms the paper
+// blames: string-keyed reflective lookups, per-field function calls, type
+// strings on the wire, and object re-creation on receive.
+package serial
+
+import (
+	"io"
+
+	"skyway/internal/heap"
+	"skyway/internal/vm"
+)
+
+// Codec constructs encoders and decoders for one serialization library.
+type Codec interface {
+	// Name identifies the library (e.g. "kryo-manual", "java").
+	Name() string
+	// NewEncoder opens a serialization stream writing to w.
+	NewEncoder(rt *vm.Runtime, w io.Writer) Encoder
+	// NewDecoder opens a deserialization stream reading from r.
+	NewDecoder(rt *vm.Runtime, r io.Reader) Decoder
+}
+
+// Encoder serializes object graphs. Back references are tracked per stream,
+// as in the Java serializer and Kryo.
+type Encoder interface {
+	// Write serializes the graph rooted at root.
+	Write(root heap.Addr) error
+	// Flush drains buffered output.
+	Flush() error
+	// Bytes reports total payload bytes produced so far.
+	Bytes() int64
+}
+
+// Decoder deserializes object graphs produced by the matching Encoder.
+type Decoder interface {
+	// Read reconstructs the next root; io.EOF at end of stream.
+	Read() (heap.Addr, error)
+	// Objects reports how many objects have been created so far.
+	Objects() uint64
+}
+
+// Registration is a Kryo-style manual class registration table: the order
+// of Register calls defines integer IDs that must match on every node
+// (§2.1). Codecs with TypeRegisteredID require one.
+type Registration struct {
+	ids   map[string]uint32
+	names []string
+}
+
+// NewRegistration builds a table from names in registration order.
+func NewRegistration(names ...string) *Registration {
+	r := &Registration{ids: make(map[string]uint32, len(names))}
+	for _, n := range names {
+		r.Register(n)
+	}
+	return r
+}
+
+// Register appends a class (idempotent).
+func (r *Registration) Register(name string) {
+	if _, ok := r.ids[name]; ok {
+		return
+	}
+	r.ids[name] = uint32(len(r.names))
+	r.names = append(r.names, name)
+}
+
+// IDOf returns the registered ID for a class name.
+func (r *Registration) IDOf(name string) (uint32, bool) {
+	id, ok := r.ids[name]
+	return id, ok
+}
+
+// NameOf returns the class name for a registered ID.
+func (r *Registration) NameOf(id uint32) (string, bool) {
+	if int(id) >= len(r.names) {
+		return "", false
+	}
+	return r.names[id], true
+}
+
+// countingWriter tracks bytes written.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,102 @@
+package serial
+
+import (
+	"io"
+
+	"skyway/internal/core"
+	"skyway/internal/heap"
+	"skyway/internal/vm"
+)
+
+// SkywayCodec adapts the Skyway transfer service to the Codec interface so
+// harnesses can swap it in wherever a baseline serializer is used — the
+// drop-in integration §3.3 is about.
+type SkywayCodec struct {
+	// Services maps each runtime to its Skyway service. A codec is shared
+	// by senders and receivers, and Skyway state is per runtime.
+	services map[*vm.Runtime]*core.Skyway
+	// Compact switches writers to the compact wire encoding (the header/
+	// padding compression the paper proposes as future work, §5.2).
+	Compact bool
+}
+
+// NewSkywayCodec builds the adapter for a set of runtimes.
+func NewSkywayCodec(runtimes ...*vm.Runtime) *SkywayCodec {
+	c := &SkywayCodec{services: make(map[*vm.Runtime]*core.Skyway, len(runtimes))}
+	for _, rt := range runtimes {
+		c.services[rt] = core.New(rt)
+	}
+	return c
+}
+
+// NewSkywayCompactCodec builds the adapter in compact wire mode.
+func NewSkywayCompactCodec(runtimes ...*vm.Runtime) *SkywayCodec {
+	c := NewSkywayCodec(runtimes...)
+	c.Compact = true
+	return c
+}
+
+// ServiceFor returns (registering if needed) the Skyway service for rt.
+func (c *SkywayCodec) ServiceFor(rt *vm.Runtime) *core.Skyway {
+	s, ok := c.services[rt]
+	if !ok {
+		s = core.New(rt)
+		c.services[rt] = s
+	}
+	return s
+}
+
+// ShuffleStartAll begins a new shuffle phase on every runtime (§3.3's
+// shuffleStart mark, applied cluster-wide by the harness).
+func (c *SkywayCodec) ShuffleStartAll() {
+	for _, s := range c.services {
+		s.ShuffleStart()
+	}
+}
+
+// Name implements Codec.
+func (c *SkywayCodec) Name() string {
+	if c.Compact {
+		return "skyway-compact"
+	}
+	return "skyway"
+}
+
+// NewEncoder implements Codec.
+func (c *SkywayCodec) NewEncoder(rt *vm.Runtime, w io.Writer) Encoder {
+	cw := &countingWriter{w: w}
+	var opts []core.WriterOption
+	if c.Compact {
+		opts = append(opts, core.WithCompactHeaders())
+	}
+	return &skywayEncoder{w: c.ServiceFor(rt).NewWriter(cw, opts...), cw: cw}
+}
+
+// NewDecoder implements Codec.
+func (c *SkywayCodec) NewDecoder(rt *vm.Runtime, r io.Reader) Decoder {
+	return &skywayDecoder{r: core.NewReader(rt, r)}
+}
+
+type skywayEncoder struct {
+	w  *core.Writer
+	cw *countingWriter
+}
+
+func (e *skywayEncoder) Write(root heap.Addr) error { return e.w.WriteObject(root) }
+
+func (e *skywayEncoder) Flush() error {
+	// Closing emits the end frame so the matching Decoder sees EOF; a
+	// Skyway stream is one shuffle transfer, flushed when complete.
+	return e.w.Close()
+}
+
+func (e *skywayEncoder) Bytes() int64 { return e.cw.n }
+
+type skywayDecoder struct{ r *core.Reader }
+
+func (d *skywayDecoder) Read() (heap.Addr, error) { return d.r.ReadObject() }
+
+func (d *skywayDecoder) Objects() uint64 { return d.r.Objects }
+
+// Free releases the decoder's input buffers (explicit-free API, §3.2).
+func (d *skywayDecoder) Free() { d.r.Free() }

@@ -1,0 +1,301 @@
+package vm
+
+import (
+	"fmt"
+
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+)
+
+// Heap-resident collections. HashMap mirrors java.util.HashMap's chained
+// table keyed by the objects' cached identity hashcodes. Because Skyway
+// copies mark words (where the hashcode lives) verbatim, a transferred
+// HashMap's bucket layout remains valid on the receiver; reflective
+// serializers allocate fresh objects with fresh identity hashes and must
+// reinsert every entry — the rehashing cost §1 and §2 describe.
+
+// Collection class names.
+const (
+	ObjectClass      = "java.lang.Object"
+	HashMapClass     = "java.util.HashMap"
+	HashMapNodeClass = "java.util.HashMap$Node"
+	ArrayListClass   = "java.util.ArrayList"
+)
+
+// EnsureCollections defines the collection classes on cp if absent.
+func EnsureCollections(cp *klass.Path) {
+	if cp.Lookup(HashMapNodeClass) == nil {
+		cp.MustDefine(
+			&klass.ClassDef{
+				Name: HashMapNodeClass,
+				Fields: []klass.FieldDef{
+					{Name: "hash", Kind: klass.Int32},
+					{Name: "key", Kind: klass.Ref, Class: ObjectClass},
+					{Name: "value", Kind: klass.Ref, Class: ObjectClass},
+					{Name: "next", Kind: klass.Ref, Class: HashMapNodeClass},
+				},
+			},
+			&klass.ClassDef{
+				Name: HashMapClass,
+				Fields: []klass.FieldDef{
+					{Name: "table", Kind: klass.Ref, Class: HashMapNodeClass + "[]"},
+					{Name: "size", Kind: klass.Int32},
+				},
+			},
+			&klass.ClassDef{
+				Name: ArrayListClass,
+				Fields: []klass.FieldDef{
+					{Name: "elementData", Kind: klass.Ref, Class: ObjectClass + "[]"},
+					{Name: "size", Kind: klass.Int32},
+				},
+			},
+		)
+	}
+}
+
+// NewHashMap allocates a HashMap with the given bucket count (rounded up to
+// a power of two).
+func (rt *Runtime) NewHashMap(buckets int) (heap.Addr, error) {
+	EnsureCollections(rt.cp)
+	cap := 16
+	for cap < buckets {
+		cap <<= 1
+	}
+	mapK, err := rt.LoadClass(HashMapClass)
+	if err != nil {
+		return heap.Null, err
+	}
+	tabK, err := rt.LoadClass(HashMapNodeClass + "[]")
+	if err != nil {
+		return heap.Null, err
+	}
+	tab, err := rt.NewArray(tabK, cap)
+	if err != nil {
+		return heap.Null, err
+	}
+	h := rt.Pin(tab)
+	defer h.Release()
+	m, err := rt.New(mapK)
+	if err != nil {
+		return heap.Null, err
+	}
+	rt.SetRef(m, mapK.FieldByName("table"), h.Addr())
+	return m, nil
+}
+
+// HashMapPut inserts (key → value) using the key's identity hashcode. An
+// existing entry with an identical key object is overwritten.
+func (rt *Runtime) HashMapPut(m, key, value heap.Addr) error {
+	mapK := rt.KlassOf(m)
+	nodeK, err := rt.LoadClass(HashMapNodeClass)
+	if err != nil {
+		return err
+	}
+	hash := rt.HashCode(key)
+
+	mh := rt.Pin(m)
+	kh := rt.Pin(key)
+	vh := rt.Pin(value)
+	defer mh.Release()
+	defer kh.Release()
+	defer vh.Release()
+
+	node, err := rt.New(nodeK) // may GC and move m/key/value
+	if err != nil {
+		return err
+	}
+	m, key, value = mh.Addr(), kh.Addr(), vh.Addr()
+
+	tab := rt.GetRef(m, mapK.FieldByName("table"))
+	idx := int(hash) & (rt.ArrayLen(tab) - 1)
+
+	// Overwrite an existing identical key.
+	for n := rt.ArrayGetRef(tab, idx); n != heap.Null; n = rt.GetRef(n, nodeK.FieldByName("next")) {
+		if rt.GetRef(n, nodeK.FieldByName("key")) == key {
+			rt.SetRef(n, nodeK.FieldByName("value"), value)
+			return nil
+		}
+	}
+	rt.SetInt(node, nodeK.FieldByName("hash"), int64(int32(hash)))
+	rt.SetRef(node, nodeK.FieldByName("key"), key)
+	rt.SetRef(node, nodeK.FieldByName("value"), value)
+	rt.SetRef(node, nodeK.FieldByName("next"), rt.ArrayGetRef(tab, idx))
+	rt.ArraySetRef(tab, idx, node)
+	rt.SetInt(m, mapK.FieldByName("size"), rt.HashMapLen(m)+1)
+	return nil
+}
+
+// HashMapGet looks value up by key object identity; the second result is
+// false if absent. Correct results after a transfer require the bucket
+// layout to match the keys' hashcodes — see HashMapValid.
+func (rt *Runtime) HashMapGet(m, key heap.Addr) (heap.Addr, bool) {
+	mapK := rt.KlassOf(m)
+	nodeK := rt.MustLoad(HashMapNodeClass)
+	tab := rt.GetRef(m, mapK.FieldByName("table"))
+	hash := rt.HashCode(key)
+	idx := int(hash) & (rt.ArrayLen(tab) - 1)
+	for n := rt.ArrayGetRef(tab, idx); n != heap.Null; n = rt.GetRef(n, nodeK.FieldByName("next")) {
+		if rt.GetRef(n, nodeK.FieldByName("key")) == key {
+			return rt.GetRef(n, nodeK.FieldByName("value")), true
+		}
+	}
+	return heap.Null, false
+}
+
+// HashMapLen returns the entry count.
+func (rt *Runtime) HashMapLen(m heap.Addr) int64 {
+	mapK := rt.KlassOf(m)
+	return rt.GetInt(m, mapK.FieldByName("size"))
+}
+
+// HashMapEach iterates all entries.
+func (rt *Runtime) HashMapEach(m heap.Addr, fn func(key, value heap.Addr)) {
+	mapK := rt.KlassOf(m)
+	nodeK := rt.MustLoad(HashMapNodeClass)
+	tab := rt.GetRef(m, mapK.FieldByName("table"))
+	for i, n := 0, rt.ArrayLen(tab); i < n; i++ {
+		for node := rt.ArrayGetRef(tab, i); node != heap.Null; node = rt.GetRef(node, nodeK.FieldByName("next")) {
+			fn(rt.GetRef(node, nodeK.FieldByName("key")), rt.GetRef(node, nodeK.FieldByName("value")))
+		}
+	}
+}
+
+// HashMapValid reports whether every entry sits in the bucket its key's
+// current identity hashcode selects. True after a Skyway transfer (hashes
+// ride along in the mark word); false after a reflective deserialization
+// until the structure is rehashed.
+func (rt *Runtime) HashMapValid(m heap.Addr) bool {
+	mapK := rt.KlassOf(m)
+	nodeK := rt.MustLoad(HashMapNodeClass)
+	tab := rt.GetRef(m, mapK.FieldByName("table"))
+	mask := rt.ArrayLen(tab) - 1
+	for i, n := 0, rt.ArrayLen(tab); i < n; i++ {
+		for node := rt.ArrayGetRef(tab, i); node != heap.Null; node = rt.GetRef(node, nodeK.FieldByName("next")) {
+			key := rt.GetRef(node, nodeK.FieldByName("key"))
+			if int(rt.HashCode(key))&mask != i {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HashMapRehash rebuilds the bucket table from the keys' current identity
+// hashcodes — what a reflective deserializer must do after recreating keys.
+// The structure is validated as it is walked (deserializers call this on
+// data from the wire, and type confusion must surface as an error, the way
+// a ClassCastException would on a JVM).
+func (rt *Runtime) HashMapRehash(m heap.Addr) error {
+	mapK := rt.KlassOf(m)
+	if mapK.Name != HashMapClass {
+		return fmt.Errorf("vm: HashMapRehash on a %s", mapK.Name)
+	}
+	nodeK := rt.MustLoad(HashMapNodeClass)
+	tabF := mapK.FieldByName("table")
+	tab := rt.GetRef(m, tabF)
+	if tab == heap.Null || rt.KlassOf(tab).Name != HashMapNodeClass+"[]" {
+		return fmt.Errorf("vm: HashMap table is not a node array")
+	}
+	cap := rt.ArrayLen(tab)
+
+	// Detach all nodes, then reinsert by current hash.
+	var nodes []heap.Addr
+	for i := 0; i < cap; i++ {
+		for node := rt.ArrayGetRef(tab, i); node != heap.Null; {
+			if rt.KlassOf(node) != nodeK {
+				return fmt.Errorf("vm: HashMap bucket holds a %s", rt.KlassOf(node).Name)
+			}
+			next := rt.GetRef(node, nodeK.FieldByName("next"))
+			nodes = append(nodes, node)
+			node = next
+			if len(nodes) > cap*1024 {
+				return fmt.Errorf("vm: HashMap bucket chain does not terminate")
+			}
+		}
+		rt.ArraySetRef(tab, i, heap.Null)
+	}
+	for _, node := range nodes {
+		key := rt.GetRef(node, nodeK.FieldByName("key"))
+		hash := rt.HashCode(key)
+		rt.SetInt(node, nodeK.FieldByName("hash"), int64(int32(hash)))
+		idx := int(hash) & (cap - 1)
+		rt.SetRef(node, nodeK.FieldByName("next"), rt.ArrayGetRef(tab, idx))
+		rt.ArraySetRef(tab, idx, node)
+	}
+	return nil
+}
+
+// NewArrayList allocates an ArrayList with the given capacity.
+func (rt *Runtime) NewArrayList(capacity int) (heap.Addr, error) {
+	EnsureCollections(rt.cp)
+	if capacity < 4 {
+		capacity = 4
+	}
+	listK, err := rt.LoadClass(ArrayListClass)
+	if err != nil {
+		return heap.Null, err
+	}
+	arrK, err := rt.LoadClass(ObjectClass + "[]")
+	if err != nil {
+		return heap.Null, err
+	}
+	arr, err := rt.NewArray(arrK, capacity)
+	if err != nil {
+		return heap.Null, err
+	}
+	h := rt.Pin(arr)
+	defer h.Release()
+	l, err := rt.New(listK)
+	if err != nil {
+		return heap.Null, err
+	}
+	rt.SetRef(l, listK.FieldByName("elementData"), h.Addr())
+	return l, nil
+}
+
+// ListAdd appends v to the ArrayList at l, growing the backing array as
+// needed, and returns the (possibly unchanged) list address.
+func (rt *Runtime) ListAdd(l, v heap.Addr) error {
+	listK := rt.KlassOf(l)
+	dataF := listK.FieldByName("elementData")
+	sizeF := listK.FieldByName("size")
+	arr := rt.GetRef(l, dataF)
+	size := int(rt.GetInt(l, sizeF))
+	if size == rt.ArrayLen(arr) {
+		lh := rt.Pin(l)
+		vh := rt.Pin(v)
+		arrK := rt.MustLoad(ObjectClass + "[]")
+		bigger, err := rt.NewArray(arrK, size*2)
+		if err != nil {
+			lh.Release()
+			vh.Release()
+			return err
+		}
+		l, v = lh.Addr(), vh.Addr()
+		lh.Release()
+		vh.Release()
+		arr = rt.GetRef(l, dataF)
+		for i := 0; i < size; i++ {
+			rt.ArraySetRef(bigger, i, rt.ArrayGetRef(arr, i))
+		}
+		rt.SetRef(l, dataF, bigger)
+		arr = bigger
+	}
+	rt.ArraySetRef(arr, size, v)
+	rt.SetInt(l, sizeF, int64(size+1))
+	return nil
+}
+
+// ListLen returns the ArrayList's element count.
+func (rt *Runtime) ListLen(l heap.Addr) int {
+	return int(rt.GetInt(l, rt.KlassOf(l).FieldByName("size")))
+}
+
+// ListGet returns element i of the ArrayList.
+func (rt *Runtime) ListGet(l heap.Addr, i int) heap.Addr {
+	listK := rt.KlassOf(l)
+	if i < 0 || i >= int(rt.GetInt(l, listK.FieldByName("size"))) {
+		panic("vm: list index out of bounds")
+	}
+	return rt.ArrayGetRef(rt.GetRef(l, listK.FieldByName("elementData")), i)
+}

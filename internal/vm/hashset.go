@@ -1,0 +1,92 @@
+package vm
+
+import (
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+)
+
+// HashSet mirrors java.util.HashSet: a thin wrapper over a HashMap whose
+// values are a shared sentinel. Like HashMap, a Skyway-transferred HashSet
+// stays valid on the receiver because the element hashcodes travel in the
+// mark words; reflective serializers must rebuild it.
+
+// HashSetClass names the built-in hash set class.
+const HashSetClass = "java.util.HashSet"
+
+// EnsureHashSet defines the class on cp if absent.
+func EnsureHashSet(cp *klass.Path) {
+	EnsureCollections(cp)
+	if cp.Lookup(HashSetClass) == nil {
+		cp.MustDefine(&klass.ClassDef{
+			Name: HashSetClass,
+			Fields: []klass.FieldDef{
+				{Name: "map", Kind: klass.Ref, Class: HashMapClass},
+				{Name: "present", Kind: klass.Ref, Class: ObjectClass},
+			},
+		})
+	}
+}
+
+// NewHashSet allocates a HashSet sized for the given element count.
+func (rt *Runtime) NewHashSet(elems int) (heap.Addr, error) {
+	EnsureHashSet(rt.cp)
+	setK, err := rt.LoadClass(HashSetClass)
+	if err != nil {
+		return heap.Null, err
+	}
+	m, err := rt.NewHashMap(elems)
+	if err != nil {
+		return heap.Null, err
+	}
+	mh := rt.Pin(m)
+	defer mh.Release()
+	// The PRESENT sentinel: any object shared by all entries.
+	sentinel, err := rt.NewString("")
+	if err != nil {
+		return heap.Null, err
+	}
+	sh := rt.Pin(sentinel)
+	defer sh.Release()
+	s, err := rt.New(setK)
+	if err != nil {
+		return heap.Null, err
+	}
+	rt.SetRef(s, setK.FieldByName("map"), mh.Addr())
+	rt.SetRef(s, setK.FieldByName("present"), sh.Addr())
+	return s, nil
+}
+
+// HashSetAdd inserts elem; returns false if it was already present.
+func (rt *Runtime) HashSetAdd(s, elem heap.Addr) (bool, error) {
+	setK := rt.KlassOf(s)
+	m := rt.GetRef(s, setK.FieldByName("map"))
+	if _, present := rt.HashMapGet(m, elem); present {
+		return false, nil
+	}
+	sh := rt.Pin(s)
+	eh := rt.Pin(elem)
+	defer sh.Release()
+	defer eh.Release()
+	sentinel := rt.GetRef(sh.Addr(), setK.FieldByName("present"))
+	err := rt.HashMapPut(rt.GetRef(sh.Addr(), setK.FieldByName("map")), eh.Addr(), sentinel)
+	return err == nil, err
+}
+
+// HashSetContains reports membership by element identity.
+func (rt *Runtime) HashSetContains(s, elem heap.Addr) bool {
+	setK := rt.KlassOf(s)
+	_, ok := rt.HashMapGet(rt.GetRef(s, setK.FieldByName("map")), elem)
+	return ok
+}
+
+// HashSetLen returns the element count.
+func (rt *Runtime) HashSetLen(s heap.Addr) int64 {
+	setK := rt.KlassOf(s)
+	return rt.HashMapLen(rt.GetRef(s, setK.FieldByName("map")))
+}
+
+// HashSetEach iterates the elements.
+func (rt *Runtime) HashSetEach(s heap.Addr, fn func(elem heap.Addr)) {
+	setK := rt.KlassOf(s)
+	rt.HashMapEach(rt.GetRef(s, setK.FieldByName("map")), func(k, _ heap.Addr) { fn(k) })
+}

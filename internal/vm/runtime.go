@@ -1,0 +1,332 @@
+// Package vm ties the substrates into a node runtime — the role played by
+// one JVM process in the paper: a managed heap, a classloader wired to the
+// global type registry (§4.1), a garbage collector, and a typed object
+// access API with a card-table write barrier.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"skyway/internal/gc"
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+	"skyway/internal/registry"
+)
+
+// ErrOOM is returned when an allocation cannot be satisfied even after a
+// full collection.
+var ErrOOM = errors.New("vm: out of memory")
+
+// Runtime is one simulated JVM instance.
+type Runtime struct {
+	// Name identifies the node (e.g. "driver", "worker-2") in diagnostics.
+	Name string
+
+	Heap *heap.Heap
+	GC   *gc.Collector
+
+	cp      *klass.Path
+	klasses []*klass.Klass // indexed by LID
+	byName  map[string]*klass.Klass
+	byTID   map[int32]*klass.Klass
+
+	// View is the node's registry view; nil for a detached runtime (then
+	// classes get TID -1 and Skyway transfer is unavailable).
+	View *registry.View
+
+	hashState uint64
+
+	// fieldUpdates holds the §3.3 post-transfer field update hooks,
+	// keyed by class name.
+	fieldUpdates map[string][]FieldUpdate
+
+	// ClassesLoaded counts classloading events, for registry statistics.
+	ClassesLoaded int
+}
+
+// FieldUpdate is a registered post-transfer update (§3.3): after an object
+// of the class arrives, fn is invoked to recompute the field's value.
+type FieldUpdate struct {
+	Field *klass.Field
+	Fn    func(rt *Runtime, obj heap.Addr) uint64
+}
+
+// Options configures NewRuntime.
+type Options struct {
+	Name string
+	Heap heap.Config
+	// Registry connects the runtime to the driver registry; nil leaves the
+	// runtime detached.
+	Registry registry.Client
+}
+
+// NewRuntime boots a runtime over the given classpath.
+func NewRuntime(cp *klass.Path, opts Options) (*Runtime, error) {
+	if opts.Heap.EdenSize == 0 {
+		opts.Heap = heap.DefaultConfig()
+	}
+	rt := &Runtime{
+		Name:         opts.Name,
+		Heap:         heap.New(opts.Heap),
+		cp:           cp,
+		byName:       make(map[string]*klass.Klass),
+		byTID:        make(map[int32]*klass.Klass),
+		hashState:    0x9E3779B97F4A7C15,
+		fieldUpdates: make(map[string][]FieldUpdate),
+	}
+	rt.GC = gc.New(rt.Heap, rt)
+	EnsureBuiltins(cp)
+	EnsureCollections(cp)
+	if opts.Registry != nil {
+		v, err := registry.NewView(opts.Registry)
+		if err != nil {
+			return nil, err
+		}
+		rt.View = v
+	}
+	if _, err := rt.LoadClass(StringClass); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// ClassPath returns the classpath the runtime loads from.
+func (rt *Runtime) ClassPath() *klass.Path { return rt.cp }
+
+// --- classloading -----------------------------------------------------------
+
+// LoadClass loads (or returns the already-loaded) klass for name, resolving
+// its superclass chain, computing the field layout for this runtime's header
+// geometry, and — when attached to a registry — obtaining the global type ID
+// and writing it into the klass meta object (Algorithm 1, worker part 2).
+func (rt *Runtime) LoadClass(name string) (*klass.Klass, error) {
+	if k, ok := rt.byName[name]; ok {
+		return k, nil
+	}
+	var k *klass.Klass
+	var err error
+	if _, _, isArr := klass.ParseArrayName(name); isArr {
+		k, err = klass.ResolveArray(name, rt.Heap.Layout())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		def := rt.cp.Lookup(name)
+		if def == nil {
+			return nil, fmt.Errorf("vm: %s: class %s not found on classpath", rt.Name, name)
+		}
+		var super *klass.Klass
+		if def.Super != "" {
+			super, err = rt.LoadClass(def.Super)
+			if err != nil {
+				return nil, err
+			}
+		}
+		k, err = klass.ResolveLayout(def, super, rt.Heap.Layout())
+		if err != nil {
+			return nil, err
+		}
+	}
+	k.LID = int32(len(rt.klasses))
+	if rt.View != nil {
+		tid, err := rt.View.IDFor(name)
+		if err != nil {
+			return nil, err
+		}
+		k.TID = tid // WRITETID(metaObj, id)
+		rt.byTID[tid] = k
+	}
+	rt.klasses = append(rt.klasses, k)
+	rt.byName[name] = k
+	rt.ClassesLoaded++
+	return k, nil
+}
+
+// MustLoad is LoadClass panicking on error, for statically known schemas.
+func (rt *Runtime) MustLoad(name string) *klass.Klass {
+	k, err := rt.LoadClass(name)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// KlassAt returns the klass with local ID lid.
+func (rt *Runtime) KlassAt(lid int32) *klass.Klass {
+	if lid < 0 || int(lid) >= len(rt.klasses) {
+		panic(fmt.Sprintf("vm: %s: bad klass LID %d", rt.Name, lid))
+	}
+	return rt.klasses[lid]
+}
+
+// KlassByName returns the loaded klass for name, or nil.
+func (rt *Runtime) KlassByName(name string) *klass.Klass { return rt.byName[name] }
+
+// KlassByTID resolves a global type ID to a local klass, loading the class
+// by name through the registry if it has not been loaded yet — the §4.1
+// "if we encounter an unloaded class ... Skyway instructs the class loader
+// to load the missing class" path.
+func (rt *Runtime) KlassByTID(tid int32) (*klass.Klass, error) {
+	if k, ok := rt.byTID[tid]; ok {
+		return k, nil
+	}
+	if rt.View == nil {
+		return nil, fmt.Errorf("vm: %s: no registry view to resolve type ID %d", rt.Name, tid)
+	}
+	name, err := rt.View.NameFor(tid)
+	if err != nil {
+		return nil, err
+	}
+	return rt.LoadClass(name)
+}
+
+// KlassOf returns the klass of the live object at a.
+func (rt *Runtime) KlassOf(a heap.Addr) *klass.Klass {
+	return rt.KlassAt(int32(rt.Heap.KlassWord(a)))
+}
+
+// --- gc.Meta ---------------------------------------------------------------
+
+// ObjectSize implements gc.Meta.
+func (rt *Runtime) ObjectSize(a heap.Addr) uint32 {
+	k := rt.KlassOf(a)
+	if !k.IsArray {
+		return k.Size
+	}
+	return k.InstanceBytes(rt.Heap.ArrayLen(a))
+}
+
+// RefSlots implements gc.Meta.
+func (rt *Runtime) RefSlots(a heap.Addr, fn func(off uint32)) {
+	k := rt.KlassOf(a)
+	if k.IsArray {
+		if k.Elem != klass.Ref {
+			return
+		}
+		n := rt.Heap.ArrayLen(a)
+		base := rt.Heap.Layout().ArrayHeaderSize()
+		for i := 0; i < n; i++ {
+			fn(base + uint32(i)*8)
+		}
+		return
+	}
+	for _, off := range k.RefOffsets {
+		fn(off)
+	}
+}
+
+// --- allocation --------------------------------------------------------------
+
+func (rt *Runtime) allocYoung(size uint32) (heap.Addr, error) {
+	if a := rt.Heap.AllocYoung(size); a != heap.Null {
+		return a, nil
+	}
+	if !rt.GC.Scavenge() {
+		rt.GC.FullGC()
+	}
+	if a := rt.Heap.AllocYoung(size); a != heap.Null {
+		return a, nil
+	}
+	rt.GC.FullGC()
+	if a := rt.Heap.AllocYoung(size); a != heap.Null {
+		return a, nil
+	}
+	// Objects larger than eden go straight to the old generation.
+	if a := rt.Heap.AllocOld(size); a != heap.Null {
+		return a, nil
+	}
+	return heap.Null, fmt.Errorf("%w: %s allocating %d bytes", ErrOOM, rt.Name, size)
+}
+
+// New allocates and zero-initializes an instance of k.
+func (rt *Runtime) New(k *klass.Klass) (heap.Addr, error) {
+	if k.IsArray {
+		return heap.Null, fmt.Errorf("vm: New(%s): use NewArray for arrays", k.Name)
+	}
+	a, err := rt.allocYoung(k.Size)
+	if err != nil {
+		return heap.Null, err
+	}
+	rt.Heap.ZeroWords(a, k.Size)
+	rt.Heap.SetKlassWord(a, uint64(k.LID))
+	return a, nil
+}
+
+// NewArray allocates a zeroed array of n elements of array klass k.
+func (rt *Runtime) NewArray(k *klass.Klass, n int) (heap.Addr, error) {
+	if !k.IsArray {
+		return heap.Null, fmt.Errorf("vm: NewArray(%s): not an array klass", k.Name)
+	}
+	size := k.InstanceBytes(n)
+	a, err := rt.allocYoung(size)
+	if err != nil {
+		return heap.Null, err
+	}
+	rt.Heap.ZeroWords(a, size)
+	rt.Heap.SetKlassWord(a, uint64(k.LID))
+	rt.Heap.SetArrayLen(a, n)
+	return a, nil
+}
+
+// MustNew is New panicking on OOM; workload code that treats OOM as fatal
+// (as Spark executors do) uses this.
+func (rt *Runtime) MustNew(k *klass.Klass) heap.Addr {
+	a, err := rt.New(k)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// MustNewArray is NewArray panicking on OOM.
+func (rt *Runtime) MustNewArray(k *klass.Klass, n int) heap.Addr {
+	a, err := rt.NewArray(k, n)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Pin registers a GC root handle for a.
+func (rt *Runtime) Pin(a heap.Addr) *gc.Handle { return rt.GC.NewHandle(a) }
+
+// --- identity hash ------------------------------------------------------------
+
+// HashCode returns the object's identity hashcode, computing and caching it
+// in the mark word on first use — exactly the JVM behaviour that makes
+// Skyway's header-preserving copy skip receiver-side rehashing.
+func (rt *Runtime) HashCode(a heap.Addr) uint32 {
+	if h, ok := rt.Heap.HashOf(a); ok {
+		return h
+	}
+	// splitmix64 step over runtime-local state: repeatable per run order,
+	// well distributed.
+	rt.hashState += 0x9E3779B97F4A7C15
+	z := rt.hashState
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	h := uint32((z ^ (z >> 31)) & 0x7FFFFFFF)
+	rt.Heap.SetHash(a, h)
+	return h
+}
+
+// --- field update registration (§3.3) ---------------------------------------
+
+// RegisterUpdate registers a post-transfer field update for className.field.
+// The Skyway reader applies it to every received instance of the class.
+func (rt *Runtime) RegisterUpdate(className, field string, fn func(rt *Runtime, obj heap.Addr) uint64) error {
+	k, err := rt.LoadClass(className)
+	if err != nil {
+		return err
+	}
+	f := k.FieldByName(field)
+	if f == nil {
+		return fmt.Errorf("vm: %s has no field %q", className, field)
+	}
+	rt.fieldUpdates[className] = append(rt.fieldUpdates[className], FieldUpdate{Field: f, Fn: fn})
+	return nil
+}
+
+// UpdatesFor returns the registered field updates for klass k, or nil.
+func (rt *Runtime) UpdatesFor(k *klass.Klass) []FieldUpdate { return rt.fieldUpdates[k.Name] }

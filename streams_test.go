@@ -1,0 +1,124 @@
+package skyway_test
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+
+	"skyway"
+)
+
+// Tests for the §3.3 file/socket stream conveniences.
+
+func TestFileStreams(t *testing.T) {
+	cp := pointPath()
+	reg := skyway.NewInProcRegistry()
+	snd, err := skyway.NewRuntime(cp, skyway.RuntimeOptions{Name: "fs", Registry: reg.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := skyway.NewRuntime(cp, skyway.RuntimeOptions{Name: "fr", Registry: reg.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "shuffle-0.skyway")
+	svc := skyway.NewService(snd)
+	w, err := skyway.NewFileWriter(svc, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := snd.MustLoad("Point")
+	for i := 0; i < 10; i++ {
+		p := snd.MustNew(k)
+		snd.SetInt(p, k.FieldByName("x"), int64(i))
+		if err := w.WriteObject(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := skyway.NewFileReader(rcv, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("read %d roots", len(got))
+	}
+	rk := rcv.MustLoad("Point")
+	for i, g := range got {
+		if rcv.GetInt(g, rk.FieldByName("x")) != int64(i) {
+			t.Fatalf("root %d corrupted", i)
+		}
+	}
+}
+
+func TestSocketStreams(t *testing.T) {
+	cp := pointPath()
+	reg := skyway.NewInProcRegistry()
+	snd, err := skyway.NewRuntime(cp, skyway.RuntimeOptions{Name: "ss", Registry: reg.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := skyway.NewRuntime(cp, skyway.RuntimeOptions{Name: "sr", Registry: reg.Client()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type result struct {
+		x   int64
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		r, conn, err := skyway.AcceptReader(rcv, ln)
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer conn.Close()
+		got, err := r.ReadObject()
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		k := rcv.MustLoad("Point")
+		done <- result{x: rcv.GetInt(got, k.FieldByName("x"))}
+	}()
+
+	svc := skyway.NewService(snd)
+	w, err := skyway.DialWriter(svc, ln.Addr().String(), skyway.WithCompactHeaders())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := snd.MustLoad("Point")
+	p := snd.MustNew(k)
+	snd.SetInt(p, k.FieldByName("x"), 4711)
+	if err := w.WriteObject(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.x != 4711 {
+		t.Fatalf("received x = %d", res.x)
+	}
+}
