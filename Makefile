@@ -1,0 +1,26 @@
+# Development entry points. `make check` is the pre-PR gate.
+
+GO ?= go
+
+.PHONY: build test vet skywayvet race verify check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+skywayvet:
+	$(GO) run ./cmd/skywayvet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full test suite with the heap/buffer invariant verifier enabled.
+verify:
+	SKYWAY_VERIFY=1 $(GO) test ./...
+
+check: build vet skywayvet race

@@ -1,0 +1,75 @@
+// Command skywayvet is the project's custom vet multichecker: it runs the
+// skyway-specific static analyzers (addrarith, rawslab, atomicbaddr) over
+// the given package patterns and exits nonzero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/skywayvet ./...
+//	go run ./cmd/skywayvet -list
+//	go run ./cmd/skywayvet -run addrarith ./internal/gc/...
+//
+// It needs only the Go toolchain: packages are loaded via `go list -export`
+// and type-checked from source against the toolchain's export data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"skyway/internal/analyzers"
+	"skyway/internal/analyzers/framework"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	all := analyzers.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := all
+	if *run != "" {
+		byName := make(map[string]*framework.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*run, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "skywayvet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := framework.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skywayvet: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := framework.RunAll(pkgs, selected)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "skywayvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+
+	"skyway/internal/analyzers/framework"
+)
+
+// AddrArith flags raw arithmetic on heap.Addr values outside the slab
+// layers. Everything above internal/heap and internal/core must derive
+// addresses through the sanctioned APIs (Addr.Add, region allocators,
+// object accessors): ad-hoc pointer math is how off-by-a-header bugs and
+// unpadded sizes leak into GC walks and Skyway copies. Comparisons and
+// explicit conversions stay legal — they cannot manufacture a misaligned
+// address.
+var AddrArith = &framework.Analyzer{
+	Name: "addrarith",
+	Doc: "flag raw heap.Addr arithmetic outside internal/heap and internal/core; " +
+		"derive addresses with Addr.Add or the region allocators",
+	Run: runAddrArith,
+}
+
+// arithOps are the operators that compute a new value (comparisons excluded).
+var arithOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true, token.AND: true, token.OR: true, token.XOR: true,
+	token.SHL: true, token.SHR: true, token.AND_NOT: true,
+}
+
+var arithAssignOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true, token.REM_ASSIGN: true, token.AND_ASSIGN: true,
+	token.OR_ASSIGN: true, token.XOR_ASSIGN: true, token.SHL_ASSIGN: true,
+	token.SHR_ASSIGN: true, token.AND_NOT_ASSIGN: true,
+}
+
+func runAddrArith(p *framework.Pass) error {
+	if slabLayers[p.Pkg.Path()] {
+		return nil
+	}
+	addrOperand := func(e ast.Expr) bool {
+		tv, ok := p.TypesInfo.Types[e]
+		return ok && isHeapAddr(tv.Type)
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if arithOps[n.Op] && (addrOperand(n.X) || addrOperand(n.Y)) {
+					p.Reportf(n.OpPos, "raw heap.Addr arithmetic (%s) outside the slab layers; derive addresses with Addr.Add or the region allocators", n.Op)
+				}
+			case *ast.AssignStmt:
+				if arithAssignOps[n.Tok] && len(n.Lhs) == 1 && addrOperand(n.Lhs[0]) {
+					p.Reportf(n.TokPos, "raw heap.Addr arithmetic (%s) outside the slab layers; derive addresses with Addr.Add or the region allocators", n.Tok)
+				}
+			case *ast.IncDecStmt:
+				if addrOperand(n.X) {
+					p.Reportf(n.TokPos, "raw heap.Addr arithmetic (%s) outside the slab layers; derive addresses with Addr.Add or the region allocators", n.Tok)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

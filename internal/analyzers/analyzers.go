@@ -1,0 +1,52 @@
+// Package analyzers holds the skywayvet checks: project-specific invariants
+// of the simulated-heap architecture that the compiler cannot enforce.
+// Each analyzer encodes one rule the Skyway design depends on:
+//
+//   - addrarith: heap.Addr values are derived, never computed ad hoc;
+//   - rawslab: little-endian is the slab byte order, confined to the heap
+//     and Skyway-core layers — the network wire format is big-endian/varint;
+//   - atomicbaddr: baddr header words are claimed by concurrent senders via
+//     CAS, so every access outside internal/heap must be atomic.
+package analyzers
+
+import (
+	"go/types"
+
+	"skyway/internal/analyzers/framework"
+)
+
+// All returns every skywayvet analyzer, in the order the multichecker runs
+// them.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{AddrArith, RawSlab, AtomicBaddr}
+}
+
+const heapPkg = "skyway/internal/heap"
+
+// slabLayers are the packages allowed to do raw address math and touch slab
+// byte order: the heap itself and the Skyway core (whose copy loops and
+// relativization passes are the reason the representation exists).
+var slabLayers = map[string]bool{
+	heapPkg:               true,
+	"skyway/internal/core": true,
+}
+
+// isHeapAddr reports whether t is (an alias of) skyway/internal/heap.Addr.
+func isHeapAddr(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Addr" && obj.Pkg() != nil && obj.Pkg().Path() == heapPkg
+}
+
+// namedRecv unwraps a method receiver type to its named type, through one
+// level of pointer.
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -1,0 +1,52 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"skyway/internal/analyzers/framework"
+)
+
+// AtomicBaddr flags non-atomic access to baddr header words outside
+// internal/heap. Concurrent Skyway senders claim baddr words with CAS
+// (Algorithm 2); mixing a plain load or store with those CASes is a data
+// race the race detector only catches when two senders actually collide.
+// Outside the heap package (which implements both flavors), Baddr/SetBaddr
+// are off limits — use AtomicBaddr, AtomicSetBaddr, or CasBaddr.
+var AtomicBaddr = &framework.Analyzer{
+	Name: "atomicbaddr",
+	Doc: "flag non-atomic Heap.Baddr/Heap.SetBaddr access outside internal/heap; " +
+		"baddr words are CAS-claimed by concurrent senders, use the Atomic variants",
+	Run: runAtomicBaddr,
+}
+
+func runAtomicBaddr(p *framework.Pass) error {
+	if p.Pkg.Path() == heapPkg {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := p.TypesInfo.Selections[sel]
+			if s == nil || s.Kind() != types.MethodVal {
+				return true
+			}
+			obj := s.Obj()
+			if obj.Pkg() == nil || obj.Pkg().Path() != heapPkg {
+				return true
+			}
+			if obj.Name() != "Baddr" && obj.Name() != "SetBaddr" {
+				return true
+			}
+			if recv := namedRecv(s.Recv()); recv == nil || recv.Obj().Name() != "Heap" {
+				return true
+			}
+			p.Reportf(sel.Pos(), "non-atomic baddr access (Heap.%s) races with senders' CAS claims; use AtomicBaddr/AtomicSetBaddr/CasBaddr", obj.Name())
+			return true
+		})
+	}
+	return nil
+}

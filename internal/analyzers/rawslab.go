@@ -1,0 +1,45 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"skyway/internal/analyzers/framework"
+)
+
+// RawSlab flags use of encoding/binary's LittleEndian outside the slab
+// layers. Little-endian is the simulated heap's byte order — the contract
+// that lets Skyway's CopyOut/CopyIn move object images without rewriting
+// scalars. Every other byte stream in the system is a network wire format
+// and uses big-endian or varint encoding; a stray LittleEndian above the
+// slab layers is almost always code peeking at heap words through a byte
+// lens instead of using the typed accessors.
+var RawSlab = &framework.Analyzer{
+	Name: "rawslab",
+	Doc: "flag binary.LittleEndian (the slab byte order) outside internal/heap " +
+		"and internal/core; wire formats are big-endian/varint, heap words go " +
+		"through typed accessors",
+	Run: runRawSlab,
+}
+
+func runRawSlab(p *framework.Pass) error {
+	if slabLayers[p.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if obj.Pkg().Path() == "encoding/binary" && obj.Name() == "LittleEndian" {
+				p.Reportf(sel.Pos(), "binary.LittleEndian is the slab byte order, confined to internal/heap and internal/core; use big-endian/varint for wire formats or typed heap accessors for object words")
+			}
+			return true
+		})
+	}
+	return nil
+}

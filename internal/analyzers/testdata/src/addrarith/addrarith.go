@@ -1,0 +1,25 @@
+// Package addrarith is the skywayvet fixture for the addrarith analyzer:
+// raw heap.Addr arithmetic outside the slab layers must be flagged, while
+// sanctioned derivation, comparisons, and explicit conversions stay silent.
+package addrarith
+
+import "skyway/internal/heap"
+
+func bad(a heap.Addr, n uint32) heap.Addr {
+	b := a + heap.Addr(n) // want `raw heap\.Addr arithmetic`
+	b += 8                // want `raw heap\.Addr arithmetic`
+	b++                   // want `raw heap\.Addr arithmetic`
+	d := b - a            // want `raw heap\.Addr arithmetic`
+	m := a & 7            // want `raw heap\.Addr arithmetic`
+	return d + m          // want `raw heap\.Addr arithmetic`
+}
+
+func good(a heap.Addr, n uint32) heap.Addr {
+	b := a.Add(n) // sanctioned derivation
+	if b > a && b != heap.Null {
+		return b // comparisons cannot misalign anything
+	}
+	span := uint64(b) - uint64(a) // explicit conversion signals intent
+	_ = span
+	return heap.Null
+}

@@ -1,0 +1,21 @@
+// Package rawslab is the skywayvet fixture for the rawslab analyzer:
+// binary.LittleEndian (the slab byte order) must be flagged outside the
+// slab layers, while big-endian and varint wire encoding stay silent.
+package rawslab
+
+import "encoding/binary"
+
+func bad(word uint64) uint64 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], word) // want `slab byte order`
+	le := binary.LittleEndian                 // want `slab byte order`
+	return le.Uint64(b[:])
+}
+
+func good(word uint64) uint64 {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], word) // network wire order
+	var v [binary.MaxVarintLen64]byte
+	binary.PutUvarint(v[:], word) // varint wire order
+	return binary.BigEndian.Uint64(b[:])
+}

@@ -95,7 +95,7 @@ func (e *tupleEncoder) Write(row heap.Addr) error {
 			}
 			s := e.rt.GetRef(row, f)
 			if s == heap.Null {
-				binary.LittleEndian.PutUint32(scratch[:4], nullString)
+				binary.BigEndian.PutUint32(scratch[:4], nullString)
 				e.put(scratch[:4])
 				continue
 			}
@@ -103,17 +103,26 @@ func (e *tupleEncoder) Write(row heap.Addr) error {
 			// code units.
 			val := e.rt.GetRef(s, e.rt.KlassOf(s).FieldByName("value"))
 			n := e.rt.ArrayLen(val)
-			binary.LittleEndian.PutUint32(scratch[:4], uint32(n))
+			binary.BigEndian.PutUint32(scratch[:4], uint32(n))
 			e.put(scratch[:4])
 			for j := 0; j < n; j++ {
-				binary.LittleEndian.PutUint16(scratch[:2], e.rt.ArrayGetChar(val, j))
+				binary.BigEndian.PutUint16(scratch[:2], e.rt.ArrayGetChar(val, j))
 				e.put(scratch[:2])
 			}
 			continue
 		}
 		raw := e.rt.Heap.Load(row, f.Offset, f.Kind)
 		sz := f.Kind.Size()
-		binary.LittleEndian.PutUint64(scratch[:], raw)
+		switch sz {
+		case 1:
+			scratch[0] = byte(raw)
+		case 2:
+			binary.BigEndian.PutUint16(scratch[:2], uint16(raw))
+		case 4:
+			binary.BigEndian.PutUint32(scratch[:4], uint32(raw))
+		default:
+			binary.BigEndian.PutUint64(scratch[:], raw)
+		}
 		e.put(scratch[:sz])
 	}
 	return nil
@@ -158,7 +167,7 @@ func (d *tupleDecoder) Read() (heap.Addr, error) {
 			if _, err := io.ReadFull(d.r, scratch[:4]); err != nil {
 				return heap.Null, err
 			}
-			n := binary.LittleEndian.Uint32(scratch[:4])
+			n := binary.BigEndian.Uint32(scratch[:4])
 			if n == nullString {
 				continue
 			}
@@ -186,14 +195,16 @@ func (d *tupleDecoder) Read() (heap.Addr, error) {
 		if _, err := io.ReadFull(d.r, scratch[:sz]); err != nil {
 			return heap.Null, err
 		}
-		raw := binary.LittleEndian.Uint64(scratch[:])
+		var raw uint64
 		switch sz {
 		case 1:
-			raw &= 0xFF
+			raw = uint64(scratch[0])
 		case 2:
-			raw &= 0xFFFF
+			raw = uint64(binary.BigEndian.Uint16(scratch[:2]))
 		case 4:
-			raw &= 0xFFFFFFFF
+			raw = uint64(binary.BigEndian.Uint32(scratch[:4]))
+		default:
+			raw = binary.BigEndian.Uint64(scratch[:])
 		}
 		d.rt.Heap.Store(rh.Addr(), f.Offset, f.Kind, raw)
 	}
@@ -223,7 +234,7 @@ func (d *tupleDecoder) readString(n int) (heap.Addr, error) {
 		if _, err := io.ReadFull(d.r, scratch[:]); err != nil {
 			return heap.Null, err
 		}
-		u := binary.LittleEndian.Uint16(scratch[:])
+		u := binary.BigEndian.Uint16(scratch[:])
 		d.rt.ArraySetChar(ah.Addr(), j, u)
 		hash = 31*hash + int32(u)
 	}

@@ -158,7 +158,7 @@ func (rd *Reader) decodeCompactSegment(phys []byte, base heap.Addr, decoded uint
 		h.SetMark(a, composeMark(hash, hashed))
 		h.SetKlassWord(a, tid64)
 		if layout.Baddr {
-			h.SetBaddr(a, 0)
+			h.AtomicSetBaddr(a, 0)
 		}
 		if isArray {
 			h.SetArrayLen(a, int(arrayLen))

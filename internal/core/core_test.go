@@ -774,3 +774,76 @@ func TestByteCompositionStats(t *testing.T) {
 		t.Error("composition not accounted")
 	}
 }
+
+func TestConcurrentWritersShareLargeGraph(t *testing.T) {
+	// Race-detector stress for the §4.2 concurrent-sender path: a long
+	// chain shared by every writer means thousands of overlapping baddr
+	// CAS claims and whole-object copies of the same words. Any
+	// non-atomic access to a claimable header word surfaces here under
+	// -race long before it corrupts a real shuffle.
+	snd, rcv, sky := testCluster(t)
+	ck := snd.MustLoad("Cell")
+	vf := ck.FieldByName("v")
+	nf := ck.FieldByName("next")
+
+	const chain = 4000
+	head := snd.Pin(snd.MustNew(ck))
+	snd.SetDouble(head.Addr(), vf, 0)
+	for i := 1; i < chain; i++ {
+		c := snd.MustNew(ck)
+		next := snd.Pin(c)
+		snd.SetDouble(next.Addr(), vf, float64(i))
+		snd.SetRef(next.Addr(), nf, head.Addr())
+		head.Release()
+		head = next
+	}
+	defer head.Release()
+
+	const writers = 4
+	bufs := make([]bytes.Buffer, writers)
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := sky.NewWriter(&bufs[i])
+			if err := w.WriteObject(head.Addr()); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = w.Close()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", i, err)
+		}
+	}
+
+	// Every stream must carry an intact private copy of the whole chain.
+	rck := rcv.MustLoad("Cell")
+	rvf := rck.FieldByName("v")
+	rnf := rck.FieldByName("next")
+	for i := range bufs {
+		r := NewReader(rcv, &bufs[i])
+		got, err := r.ReadObject()
+		if err != nil {
+			t.Fatalf("reader %d: %v", i, err)
+		}
+		n, want := 0, float64(chain-1)
+		for a := got; a != heap.Null; a = rcv.GetRef(a, rnf) {
+			if v := rcv.GetDouble(a, rvf); v != want {
+				t.Fatalf("stream %d node %d: v=%f want %f", i, n, v, want)
+			}
+			n++
+			want--
+		}
+		if n != chain {
+			t.Fatalf("stream %d chain length %d, want %d", i, n, chain)
+		}
+		r.Free()
+		rcv.GC.FullGC() // reclaim before the next stream lands
+	}
+}

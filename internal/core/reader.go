@@ -10,6 +10,7 @@ import (
 	"skyway/internal/gc"
 	"skyway/internal/heap"
 	"skyway/internal/klass"
+	"skyway/internal/verify"
 	"skyway/internal/vm"
 )
 
@@ -38,6 +39,10 @@ type Reader struct {
 	lastTID   int32
 	lastKlass *klass.Klass
 
+	// verify enables the SKYWAY_VERIFY debug assertions on top-mark
+	// framing and chunk relativization.
+	verify bool
+
 	// Objects and Bytes report per-reader transfer volume.
 	Objects uint64
 	Bytes   uint64
@@ -62,7 +67,7 @@ func NewReader(rt *vm.Runtime, r io.Reader) *Reader {
 	if !ok {
 		br = bufio.NewReaderSize(r, 16<<10)
 	}
-	return &Reader{rt: rt, r: br}
+	return &Reader{rt: rt, r: br, verify: verify.Enabled()}
 }
 
 // ReadObject returns the next transferred root object. It consumes frames
@@ -104,6 +109,11 @@ func (rd *Reader) ReadObject() (heap.Addr, error) {
 				return heap.Null, err
 			}
 			rel := binary.BigEndian.Uint64(b[:])
+			if rd.verify {
+				if err := rd.verifyTop(rel); err != nil {
+					return heap.Null, err
+				}
+			}
 			if rel == 0 {
 				return heap.Null, nil
 			}
@@ -320,6 +330,33 @@ func (rd *Reader) absolutize() error {
 		// cards so the next scavenge scans it for young pointers.
 		rd.pins[rd.parsed].Parsed = true
 		h.DirtyRange(c.base, c.size)
+	}
+	return nil
+}
+
+// verifyTop checks the §4.3 framing invariant under SKYWAY_VERIFY: by the
+// time a top mark arrives the sender has flushed every byte of the graph it
+// names, so absolutize must have consumed every received chunk, and the
+// named root must resolve to a live object. When a chunk is left behind,
+// the chunk-level relativization audit explains why.
+func (rd *Reader) verifyTop(rel uint64) error {
+	for i := rd.parsed; i < len(rd.chunks); i++ {
+		c := &rd.chunks[i]
+		vs := verify.CheckChunk(rd.rt.Heap, rd.rt, verify.Chunk{
+			Base: c.base, Size: c.size, Done: c.done, Limit: rd.received(),
+		})
+		return fmt.Errorf("skyway: verify: top mark %#x arrived with chunk %d absolutized only to %d/%d bytes; audit: %v",
+			rel, i, c.done, c.size, vs)
+	}
+	if rel != 0 {
+		a, err := rd.translate(rel)
+		if err != nil {
+			return fmt.Errorf("skyway: verify: top mark: %w", err)
+		}
+		if !rd.rt.ValidKlassWord(rd.rt.Heap.KlassWord(a)) {
+			return fmt.Errorf("skyway: verify: top mark %#x names %#x whose klass word %#x is not a loaded class",
+				rel, uint64(a), rd.rt.Heap.KlassWord(a))
+		}
 	}
 	return nil
 }

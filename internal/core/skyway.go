@@ -99,7 +99,9 @@ func (s *Skyway) clearAllBaddrs() {
 		a := start
 		for a < top {
 			size := s.rt.ObjectSize(addr(a))
-			h.SetBaddr(addr(a), 0)
+			// Atomic: a straggler writer from the previous phase may still
+			// CAS the word it loaded before ShuffleStart took the lock.
+			h.AtomicSetBaddr(addr(a), 0)
 			a += uint64(size)
 		}
 	}
@@ -111,21 +113,6 @@ func (s *Skyway) clearAllBaddrs() {
 	// so chunks are left untouched.
 }
 
-// --- baddr word encoding (§4.2) -----------------------------------------
-//
-//	bits 56..63  phase ID (sID)
-//	bits 40..55  stream/thread ID
-//	bits  0..39  relative buffer address (5 bytes)
-const (
-	baddrRelMask    = (uint64(1) << 40) - 1
-	baddrStreamMask = uint64(0xFFFF) << 40
-	baddrPhaseShift = 56
-)
-
-func composeBaddr(sid uint8, stream uint16, rel uint64) uint64 {
-	return uint64(sid)<<baddrPhaseShift | uint64(stream)<<40 | rel&baddrRelMask
-}
-
-func baddrPhase(v uint64) uint8   { return uint8(v >> baddrPhaseShift) }
-func baddrStream(v uint64) uint16 { return uint16((v & baddrStreamMask) >> 40) }
-func baddrRel(v uint64) uint64    { return v & baddrRelMask }
+// The baddr word encoding (§4.2) lives in internal/heap (ComposeBaddr and
+// friends): it is a property of the object header that the collector and
+// the verifier share with this transfer layer.

@@ -40,7 +40,7 @@ const (
 
 // relBias offsets all relative addresses by one word so that relative
 // address 0 can keep meaning null.
-const relBias = klass.WordSize
+const relBias = heap.RelBias
 
 func writeHeader(w io.Writer, target klass.Layout, streamID uint16, compact bool) error {
 	var h [8]byte

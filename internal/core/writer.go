@@ -8,6 +8,7 @@ import (
 
 	"skyway/internal/heap"
 	"skyway/internal/klass"
+	"skyway/internal/verify"
 )
 
 // DefaultBufferSize is the default output-buffer capacity. Output buffers
@@ -60,6 +61,7 @@ type Writer struct {
 	headerWritten bool
 	closed        bool
 	growBuf       bool // buffer may still grow toward DefaultBufferSize
+	verify        bool // SKYWAY_VERIFY debug assertions on relativized refs
 
 	// Compact mode (§5.2 future work): headers/padding are compressed on
 	// the wire; decodedInBuf tracks how many logical (inflated) bytes the
@@ -115,6 +117,7 @@ func (s *Skyway) NewWriter(w io.Writer, opts ...WriterOption) *Writer {
 
 		flushed:   relBias,
 		allocable: relBias,
+		verify:    verify.Enabled(),
 	}
 	for _, o := range opts {
 		o(wr)
@@ -200,10 +203,10 @@ func (w *Writer) visit(obj heap.Addr) (rel uint64, already bool, err error) {
 		return rel, false, nil
 	}
 	for {
-		v := h.AtomicLoadWord(obj + heap.Addr(h.Layout().OffBaddr()))
-		if baddrPhase(v) == sid {
-			if baddrStream(v) == w.streamID {
-				return baddrRel(v), true, nil
+		v := h.AtomicBaddr(obj)
+		if heap.BaddrPhase(v) == sid {
+			if heap.BaddrStream(v) == w.streamID {
+				return heap.BaddrRel(v), true, nil
 			}
 			// Claimed by another stream this phase: fall back to
 			// the thread-local table (§4.2 Support for Threads).
@@ -220,7 +223,7 @@ func (w *Writer) visit(obj heap.Addr) (rel uint64, already bool, err error) {
 		}
 		// Stale phase: try to claim the baddr word.
 		rel = w.allocable
-		if h.CasBaddr(obj, v, composeBaddr(sid, w.streamID, rel)) {
+		if h.CasBaddr(obj, v, heap.ComposeBaddr(sid, w.streamID, rel)) {
 			if err := w.enqueue(obj, rel); err != nil {
 				return 0, false, err
 			}
@@ -241,7 +244,7 @@ func (w *Writer) enqueue(obj heap.Addr, rel uint64) error {
 		panic("skyway: gray queue out of order")
 	}
 	w.allocable += uint64(size)
-	if w.allocable-relBias > baddrRelMask {
+	if w.allocable-relBias > heap.BaddrRelMask {
 		return fmt.Errorf("skyway: stream exceeded 1 TiB relative address space")
 	}
 	w.gray = append(w.gray, grayRec{obj: obj, rel: rel, k: k, size: size})
@@ -441,6 +444,14 @@ func (w *Writer) relativize(img []byte, obj heap.Addr, srcOff, dstOff uint32) er
 	if err != nil {
 		return err
 	}
+	if w.verify && (childRel < relBias || childRel >= w.allocable) {
+		// §4.2 invariant: a relativized pointer always lands inside the
+		// stream's allocated relative space. Trips only on verifier-visible
+		// bookkeeping corruption, e.g. a stale baddr claim surviving a
+		// phase change.
+		return fmt.Errorf("skyway: verify: relativized pointer %#x outside allocated relative space [%#x, %#x)",
+			childRel, uint64(relBias), w.allocable)
+	}
 	binary.LittleEndian.PutUint64(img[dstOff:], childRel)
 	return nil
 }
@@ -558,6 +569,12 @@ func (w *Writer) flushSegment() error {
 		}
 	}
 	for _, rel := range w.pendingTops {
+		if w.verify && rel != 0 && (rel < relBias || rel >= w.flushed) {
+			// Framing invariant: a top mark reaches the wire only after
+			// every byte of the graph it names has been flushed.
+			return fmt.Errorf("skyway: verify: top mark %#x outside flushed relative space [%#x, %#x)",
+				rel, uint64(relBias), w.flushed)
+		}
 		var f [9]byte
 		f[0] = frameTop
 		binary.BigEndian.PutUint64(f[1:], rel)

@@ -11,6 +11,9 @@ import "skyway/internal/heap"
 func (c *Collector) FullGC() {
 	c.stats.FullGCs++
 	h := c.h
+	if c.VerifyHook != nil {
+		c.VerifyHook("before-full-gc")
+	}
 
 	// --- mark ----------------------------------------------------------
 	var stack []heap.Addr
@@ -58,7 +61,7 @@ func (c *Collector) FullGC() {
 		}
 		fwd[a] = dest
 		plans = append(plans, move{from: a, to: dest, size: size})
-		dest += heap.Addr(size)
+		dest = dest.Add(size)
 	}
 	// Old-gen compaction always fits (sliding cannot grow the region).
 	c.eachOldObject(plan)
@@ -146,6 +149,9 @@ func (c *Collector) FullGC() {
 	})
 	c.eachPinnedObject(func(a heap.Addr) { h.SetMarked(a, false) })
 	c.recleanCards()
+	if c.VerifyHook != nil {
+		c.VerifyHook("after-full-gc")
+	}
 }
 
 // eachRegionObject walks region r linearly. Valid only for bump-allocated
@@ -155,6 +161,6 @@ func eachRegionObject(h *heap.Heap, r *heap.Region, meta Meta, fn func(a heap.Ad
 	for a < r.Top {
 		size := meta.ObjectSize(a)
 		fn(a)
-		a += heap.Addr(size)
+		a = a.Add(size)
 	}
 }

@@ -84,6 +84,12 @@ type Collector struct {
 	// promoted to the old generation.
 	TenureAge int
 
+	// VerifyHook, when non-nil, runs before and after every collection
+	// with a stage tag ("before-scavenge", "after-full-gc", ...). The vm
+	// runtime wires the heap verifier here when SKYWAY_VERIFY is enabled —
+	// the repro's VerifyBeforeGC/VerifyAfterGC.
+	VerifyHook func(stage string)
+
 	stats Stats
 }
 
@@ -150,6 +156,16 @@ func (c *Collector) Unpin(p *PinnedRange) {
 	}
 }
 
+// EachPinned invokes fn for every live pinned input-buffer chunk; the heap
+// verifier enumerates chunks through this.
+func (c *Collector) EachPinned(fn func(start heap.Addr, size uint32, parsed bool)) {
+	for _, p := range c.pinned {
+		if !p.freed {
+			fn(p.Start, p.Size, p.Parsed)
+		}
+	}
+}
+
 // eachPinnedObject walks every object of every parsed, live pinned chunk.
 func (c *Collector) eachPinnedObject(fn func(a heap.Addr)) {
 	for _, p := range c.pinned {
@@ -157,10 +173,10 @@ func (c *Collector) eachPinnedObject(fn func(a heap.Addr)) {
 			continue
 		}
 		a := p.Start
-		end := p.Start + heap.Addr(p.Size)
+		end := p.Start.Add(p.Size)
 		for a < end {
 			fn(a)
-			a += heap.Addr(c.meta.ObjectSize(a))
+			a = a.Add(c.meta.ObjectSize(a))
 		}
 	}
 }
@@ -181,6 +197,9 @@ func (c *Collector) Scavenge() bool {
 		return false
 	}
 	c.stats.Scavenges++
+	if c.VerifyHook != nil {
+		c.VerifyHook("before-scavenge")
+	}
 
 	// forward copies obj to its new home and returns the new address.
 	var forward func(a heap.Addr) heap.Addr
@@ -193,12 +212,7 @@ func (c *Collector) Scavenge() bool {
 		age := h.Age(a)
 		var dst heap.Addr
 		if age+1 < c.TenureAge {
-			dst = h.To.Top
-			if uint64(size) <= h.To.Free() {
-				h.To.Top += heap.Addr(size)
-			} else {
-				dst = heap.Null
-			}
+			dst = h.To.Alloc(uint64(size)) // Null when to-space is full
 		}
 		if dst == heap.Null {
 			dst = h.AllocOld(size)
@@ -269,6 +283,9 @@ func (c *Collector) Scavenge() bool {
 	// old gen that no longer hold young pointers would require re-scanning,
 	// so conservatively keep them dirty only if they still point young.
 	c.recleanCards()
+	if c.VerifyHook != nil {
+		c.VerifyHook("after-scavenge")
+	}
 	return true
 }
 
@@ -276,9 +293,15 @@ const refKind = klass.Ref
 
 // recleanCards clears dirty cards over tenured spaces that no longer contain
 // young pointers, keeping scavenge cost proportional to genuinely dirty data.
+// Objects share 512-byte cards, so cleaning must be card-granular: first
+// collect the cards still covering a young pointer, then clear only cards
+// outside that set. (Cleaning per object wiped the boundary card a
+// young-ref-holding neighbor depended on — caught by the heap verifier's
+// missing-card check.)
 func (c *Collector) recleanCards() {
 	h := c.h
-	clean := func(a heap.Addr) {
+	keep := make(map[uint64]struct{})
+	mark := func(a heap.Addr) {
 		size := c.meta.ObjectSize(a)
 		if !h.RangeDirty(a, size) {
 			return
@@ -290,8 +313,20 @@ func (c *Collector) recleanCards() {
 				young = true
 			}
 		})
-		if !young {
-			h.CleanCards(a, uint64(size))
+		if young {
+			for card := uint64(a) / heap.CardSize; card <= (uint64(a)+uint64(size)-1)/heap.CardSize; card++ {
+				keep[card] = struct{}{}
+			}
+		}
+	}
+	c.eachOldObject(mark)
+	c.eachPinnedObject(mark)
+	clean := func(a heap.Addr) {
+		size := c.meta.ObjectSize(a)
+		for card := uint64(a) / heap.CardSize; card <= (uint64(a)+uint64(size)-1)/heap.CardSize; card++ {
+			if _, ok := keep[card]; !ok {
+				h.CleanCards(heap.Addr(card*heap.CardSize), 1)
+			}
 		}
 	}
 	c.eachOldObject(clean)
@@ -304,6 +339,6 @@ func (c *Collector) eachOldObject(fn func(a heap.Addr)) {
 	for a < c.h.Old.Top {
 		size := c.meta.ObjectSize(a)
 		fn(a)
-		a += heap.Addr(size)
+		a = a.Add(size)
 	}
 }

@@ -323,3 +323,44 @@ func TestFullGCWithoutEvacuationRoom(t *testing.T) {
 		t.Error("old gen not reclaimed after releasing roots")
 	}
 }
+
+func TestRecleanKeepsSharedCardWithYoungPointer(t *testing.T) {
+	// Two tenured neighbors share a 512-byte card; only the first holds a
+	// young pointer. Card cleaning must be card-granular: cleaning the
+	// youngless neighbor's span used to wipe the shared card, and the
+	// second scavenge silently dropped the old-to-young edge.
+	rt := newRT(t)
+	k := rt.MustLoad("N")
+	vf := k.FieldByName("v")
+	nf := k.FieldByName("next")
+	pa := rt.Pin(rt.MustNew(k))
+	pb := rt.Pin(rt.MustNew(k))
+	defer pa.Release()
+	defer pb.Release()
+	rt.GC.FullGC() // tenure both, adjacent in the old generation
+	if !rt.Heap.InOld(pa.Addr()) || !rt.Heap.InOld(pb.Addr()) {
+		t.Fatal("objects did not tenure")
+	}
+
+	young := rt.MustNew(k)
+	rt.SetInt(young, vf, 777)
+	rt.SetRef(pa.Addr(), nf, young) // dirties the shared card
+
+	// First scavenge moves the young object and recleans cards; the
+	// second must still find it through the old-to-young edge. With
+	// TenureAge=2 a traced edge promotes the object on the second pass;
+	// a dropped edge leaves the pointer dangling into survivor space
+	// (where the stale bytes linger, so a value check alone cannot tell).
+	for i := 0; i < 2; i++ {
+		if !rt.GC.Scavenge() {
+			t.Fatalf("scavenge %d refused", i)
+		}
+	}
+	got := rt.GetRef(pa.Addr(), nf)
+	if got == heap.Null || !rt.Heap.InOld(got) {
+		t.Fatalf("old-to-young edge dropped by card recleaning: ref %#x not promoted", uint64(got))
+	}
+	if rt.GetInt(got, vf) != 777 {
+		t.Fatalf("young object corrupted after reclean: v=%d", rt.GetInt(got, vf))
+	}
+}

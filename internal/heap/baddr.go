@@ -1,0 +1,43 @@
+package heap
+
+import "skyway/internal/klass"
+
+// Skyway baddr word encoding (§4.2). The baddr header word records, for the
+// current shuffle phase, where in the sender's output buffer the object's
+// clone lives:
+//
+//	bits 56..63  phase ID (sID); 0 only in a cleared word
+//	bits 40..55  stream/thread ID
+//	bits  0..39  relative buffer address (5 bytes, 1 TiB of stream space)
+//
+// The encoding lives here — not in the transfer layer — because it is a
+// property of the object header itself: the collector copies it, the
+// verifier audits it, and concurrent sender threads CAS it through the
+// heap's atomic word operations.
+const (
+	// BaddrRelMask masks the relative-address field of a baddr word.
+	BaddrRelMask    = (uint64(1) << 40) - 1
+	baddrStreamMask = uint64(0xFFFF) << 40
+	baddrPhaseShift = 56
+)
+
+// RelBias offsets all relative buffer addresses by one word so that relative
+// address 0 can keep meaning null. Every in-flight relative address is
+// therefore in [RelBias, flushed).
+const RelBias = klass.WordSize
+
+// ComposeBaddr packs a shuffle phase, stream ID and relative buffer address
+// into a baddr word. A composed word is never zero: phases start at 1 and
+// wrap back to 1, so a zero phase occurs only in a cleared word.
+func ComposeBaddr(sid uint8, stream uint16, rel uint64) uint64 {
+	return uint64(sid)<<baddrPhaseShift | uint64(stream)<<40 | rel&BaddrRelMask
+}
+
+// BaddrPhase extracts the shuffle phase ID of a baddr word.
+func BaddrPhase(v uint64) uint8 { return uint8(v >> baddrPhaseShift) }
+
+// BaddrStream extracts the stream/thread ID of a baddr word.
+func BaddrStream(v uint64) uint16 { return uint16((v & baddrStreamMask) >> 40) }
+
+// BaddrRel extracts the relative buffer address of a baddr word.
+func BaddrRel(v uint64) uint64 { return v & BaddrRelMask }

@@ -24,6 +24,12 @@ type Addr uint64
 // Null is the null reference.
 const Null Addr = 0
 
+// Add returns the address n bytes past a. Code outside the heap and core
+// layers must derive addresses through Add (or the typed accessors) rather
+// than raw Addr arithmetic, so that every address computation is auditable —
+// the skywayvet addrarith analyzer enforces this.
+func (a Addr) Add(n uint32) Addr { return a + Addr(n) }
+
 // CardSize is the card-table granularity in bytes, matching the 512-byte
 // cards of HotSpot's Parallel Scavenge collector.
 const CardSize = 512
@@ -75,8 +81,9 @@ func (r *Region) Free() uint64 { return uint64(r.End - r.Top) }
 // Reset empties the region.
 func (r *Region) Reset() { r.Top = r.Start }
 
-// alloc bump-allocates size bytes, returning Null when the region is full.
-func (r *Region) alloc(size uint64) Addr {
+// Alloc bump-allocates size bytes, returning Null when the region is full.
+// The collector allocates survivor copies through this directly.
+func (r *Region) Alloc(size uint64) Addr {
 	if uint64(r.End-r.Top) < size {
 		return Null
 	}
@@ -165,6 +172,11 @@ func (h *Heap) StoreWord(a Addr, v uint64) { h.words[h.check(a)] = v }
 
 // AtomicLoadWord atomically reads the word at a.
 func (h *Heap) AtomicLoadWord(a Addr) uint64 { return atomic.LoadUint64(&h.words[h.check(a)]) }
+
+// AtomicStoreWord atomically writes the word at a. Required for words that
+// concurrent sender threads may CAS (baddr words): mixing plain stores with
+// CAS on the same word is a data race.
+func (h *Heap) AtomicStoreWord(a Addr, v uint64) { atomic.StoreUint64(&h.words[h.check(a)], v) }
 
 // CasWord performs a compare-and-swap on the word at a. Skyway uses this to
 // claim baddr words when multiple sender threads race on a shared object
@@ -266,10 +278,10 @@ func (h *Heap) ZeroWords(a Addr, n uint32) {
 
 // AllocYoung bump-allocates size bytes (word multiple) in eden, returning
 // Null when eden is exhausted; the runtime then triggers a scavenge.
-func (h *Heap) AllocYoung(size uint32) Addr { return h.Eden.alloc(uint64(size)) }
+func (h *Heap) AllocYoung(size uint32) Addr { return h.Eden.Alloc(uint64(size)) }
 
 // AllocOld bump-allocates in the old generation.
-func (h *Heap) AllocOld(size uint32) Addr { return h.Old.alloc(uint64(size)) }
+func (h *Heap) AllocOld(size uint32) Addr { return h.Old.Alloc(uint64(size)) }
 
 // AllocBuffer allocates in the pinned buffer space used for Skyway input
 // buffers. Buffer space is never compacted; chunks return to a free list
@@ -286,7 +298,7 @@ func (h *Heap) AllocBuffer(size uint32) Addr {
 			return a
 		}
 	}
-	return h.Buffers.alloc(uint64(size))
+	return h.Buffers.Alloc(uint64(size))
 }
 
 // FreeBufferRange returns an explicitly freed input-buffer chunk to the

@@ -50,6 +50,18 @@ func (h *Heap) SetBaddr(a Addr, v uint64) {
 	h.StoreWord(a+Addr(h.layout.OffBaddr()), v)
 }
 
+// AtomicBaddr atomically reads the Skyway baddr header word. Baddr words are
+// shared between concurrent sender threads (which CAS them), so any read
+// that can race a transfer must go through this instead of Baddr.
+func (h *Heap) AtomicBaddr(a Addr) uint64 {
+	return h.AtomicLoadWord(a + Addr(h.layout.OffBaddr()))
+}
+
+// AtomicSetBaddr atomically stores the Skyway baddr header word.
+func (h *Heap) AtomicSetBaddr(a Addr, v uint64) {
+	h.AtomicStoreWord(a+Addr(h.layout.OffBaddr()), v)
+}
+
 // CasBaddr compare-and-swaps the baddr word; used when concurrent sender
 // threads race to claim a shared object.
 func (h *Heap) CasBaddr(a Addr, old, new uint64) bool {

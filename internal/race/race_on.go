@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race exposes whether the Go race detector is compiled in, mirroring
+// the runtime's internal/race. Timing-sensitive tests consult Enabled: the
+// detector's slowdown is non-uniform (heaviest on memory-copy-dense paths), so
+// wall-clock comparisons on an instrumented build measure the instrumentation.
+package race
+
+// Enabled reports that this binary was built with -race.
+const Enabled = true

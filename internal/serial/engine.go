@@ -141,8 +141,8 @@ func (e *engineEncoder) str(s string) {
 
 func (e *engineEncoder) fixed(v uint64, size uint32) {
 	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	e.w.Write(b[:size])
+	binary.BigEndian.PutUint64(b[:], v)
+	e.w.Write(b[8-size:])
 }
 
 // Write serializes the graph rooted at root. Back-reference handles are
@@ -196,7 +196,7 @@ func (e *engineEncoder) writePrimArray(o heap.Addr, k *klass.Klass, n int) error
 		// Bulk copy path of schema-compiled serializers.
 		total := uint32(n) * es
 		buf := make([]byte, klass.Pad(total))
-		e.rt.Heap.CopyOut(o+heap.Addr(base), klass.Pad(total), buf)
+		e.rt.Heap.CopyOut(o.Add(base), klass.Pad(total), buf)
 		e.w.Write(buf[:total])
 		return nil
 	}
@@ -421,10 +421,10 @@ func (d *engineDecoder) str() (string, error) {
 
 func (d *engineDecoder) fixed(size uint32) (uint64, error) {
 	var b [8]byte
-	if _, err := io.ReadFull(d.r, b[:size]); err != nil {
+	if _, err := io.ReadFull(d.r, b[8-size:]); err != nil {
 		return 0, err
 	}
-	return binary.LittleEndian.Uint64(b[:]), nil
+	return binary.BigEndian.Uint64(b[:]), nil
 }
 
 func (d *engineDecoder) readPrim(kind klass.Kind) (uint64, error) {
@@ -532,7 +532,7 @@ func (d *engineDecoder) readPrimArray(oh *gc.Handle, k *klass.Klass, n int) erro
 		if _, err := io.ReadFull(d.r, buf[:total]); err != nil {
 			return err
 		}
-		d.rt.Heap.CopyIn(oh.Addr()+heap.Addr(base), klass.Pad(total), buf)
+		d.rt.Heap.CopyIn(oh.Addr().Add(base), klass.Pad(total), buf)
 		return nil
 	}
 	for i := 0; i < n; i++ {

@@ -1,0 +1,85 @@
+package verify
+
+import (
+	"fmt"
+
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+)
+
+// Chunk describes one Skyway input-buffer chunk that is still (fully or
+// partially) in its wire form: klass words hold global type IDs and
+// reference slots hold relative buffer offsets. The reader builds these from
+// its chunk table; tests build them by hand around seeded corruption.
+type Chunk struct {
+	// Base is the chunk's address in the heap's pinned buffer space.
+	Base heap.Addr
+	// Size is the chunk length in bytes.
+	Size uint32
+	// Done is the absolutized prefix length in bytes: images in
+	// [Base, Base+Done) are already live objects and are audited by Verify
+	// instead.
+	Done uint32
+	// Limit is the exclusive upper bound of the received relative address
+	// space — the sender's flushed watermark as seen by the receiver. A
+	// well-formed image references only [RelBias, Limit).
+	Limit uint64
+}
+
+// ChunkMeta resolves the wire-form images inside an unparsed chunk; it is
+// implemented by the vm Runtime (resolving global type IDs through the
+// registry view).
+type ChunkMeta interface {
+	// ImageSize returns the padded byte size of the buffer image at a,
+	// whose klass word holds a global type ID, and reports whether that
+	// type ID resolves to a class.
+	ImageSize(a heap.Addr) (uint32, bool)
+	// ImageRefSlots invokes fn with the byte offset of every reference
+	// slot of the buffer image at a.
+	ImageRefSlots(a heap.Addr, fn func(off uint32))
+}
+
+// CheckChunk audits the not-yet-absolutized suffix of one input-buffer
+// chunk: every image's type ID must resolve, every image must fit the
+// chunk, and — the §4.3 relativization invariant — every non-null reference
+// must be a relative offset in [RelBias, Limit). An absolute heap pointer
+// that was never relativized, or an offset past the flushed watermark,
+// surfaces as a BadBufferRel violation here rather than as a hung stream.
+func CheckChunk(h *heap.Heap, meta ChunkMeta, c Chunk) []Violation {
+	var vs []Violation
+	a := c.Base.Add(c.Done)
+	end := c.Base.Add(c.Size)
+	for a < end {
+		w := h.KlassWord(a)
+		size, ok := meta.ImageSize(a)
+		if !ok {
+			vs = append(vs, Violation{Kind: BadKlass, Addr: a, Detail: fmt.Sprintf(
+				"buffer image type ID %#x does not resolve to a class; aborting chunk walk", w)})
+			return vs
+		}
+		if size == 0 || size%klass.WordSize != 0 {
+			vs = append(vs, Violation{Kind: BadWalk, Addr: a, Detail: fmt.Sprintf(
+				"buffer image size %d is not a positive word multiple; aborting chunk walk", size)})
+			return vs
+		}
+		next := a.Add(size)
+		if next > end {
+			vs = append(vs, Violation{Kind: BadWalk, Addr: a, Detail: fmt.Sprintf(
+				"buffer image of size %d overruns its chunk end %#x", size, uint64(end))})
+			return vs
+		}
+		meta.ImageRefSlots(a, func(off uint32) {
+			rel := h.Load(a, off, klass.Ref)
+			if rel == 0 {
+				return
+			}
+			if rel < heap.RelBias || rel >= c.Limit {
+				vs = append(vs, Violation{Kind: BadBufferRel, Addr: a, Off: off, Detail: fmt.Sprintf(
+					"reference %#x is not a relative offset in [%#x, %#x): unrelativized or past the flushed watermark",
+					rel, uint64(heap.RelBias), c.Limit)})
+			}
+		})
+		a = next
+	}
+	return vs
+}

@@ -12,6 +12,7 @@ import (
 	"skyway/internal/heap"
 	"skyway/internal/klass"
 	"skyway/internal/registry"
+	"skyway/internal/verify"
 )
 
 // ErrOOM is returned when an allocation cannot be satisfied even after a
@@ -59,6 +60,10 @@ type Options struct {
 	// Registry connects the runtime to the driver registry; nil leaves the
 	// runtime detached.
 	Registry registry.Client
+	// Verify enables the heap invariant verifier around every collection
+	// for this runtime, regardless of the SKYWAY_VERIFY environment
+	// variable (which enables it process-wide).
+	Verify bool
 }
 
 // NewRuntime boots a runtime over the given classpath.
@@ -76,6 +81,9 @@ func NewRuntime(cp *klass.Path, opts Options) (*Runtime, error) {
 		fieldUpdates: make(map[string][]FieldUpdate),
 	}
 	rt.GC = gc.New(rt.Heap, rt)
+	if opts.Verify || verify.Enabled() {
+		rt.wireVerifier()
+	}
 	EnsureBuiltins(cp)
 	EnsureCollections(cp)
 	if opts.Registry != nil {
