@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet skywayvet race verify check
+.PHONY: build test vet skywayvet lint-fixtures race verify check
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,11 @@ vet:
 
 skywayvet:
 	$(GO) run ./cmd/skywayvet ./...
+
+# Run each analyzer against its testdata fixture package standalone: the
+# fixture `// want` expectations are the analyzers' behavioural contract.
+lint-fixtures:
+	$(GO) test -run 'Test.*Fixture' ./internal/analyzers/
 
 race:
 	$(GO) test -race ./...

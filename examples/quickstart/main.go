@@ -42,18 +42,20 @@ func main() {
 	yearK := sender.MustLoad("Year4D")
 	year := sender.MustNew(yearK)
 	sender.SetInt(year, yearK.FieldByName("value"), 2018)
+	// The next allocation may scavenge and move the Year4D, so the raw
+	// year address goes stale: pin it and re-derive through the handle.
 	yh := sender.Pin(year)
 	date := sender.MustNew(dateK)
 	sender.SetRef(date, dateK.FieldByName("year"), yh.Addr())
 	sender.SetInt(date, dateK.FieldByName("month"), 3)
 	sender.SetInt(date, dateK.FieldByName("day"), 24)
-	yh.Release()
 
 	hash := sender.HashCode(date)
 	fmt.Printf("sender:   Date{%d-%02d-%02d} identity hash %#x\n",
-		sender.GetInt(year, yearK.FieldByName("value")),
+		sender.GetInt(yh.Addr(), yearK.FieldByName("value")),
 		sender.GetInt(date, dateK.FieldByName("month")),
 		sender.GetInt(date, dateK.FieldByName("day")), hash)
+	yh.Release()
 
 	// Transfer: no per-field access, no type strings, no constructors on
 	// the far side. Any io.Writer/io.Reader works; here a buffer stands

@@ -36,7 +36,7 @@ var arithAssignOps = map[token.Token]bool{
 }
 
 func runAddrArith(p *framework.Pass) error {
-	if slabLayers[p.Pkg.Path()] {
+	if exemptPkg(p) {
 		return nil
 	}
 	addrOperand := func(e ast.Expr) bool {

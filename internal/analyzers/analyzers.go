@@ -6,7 +6,12 @@
 //   - rawslab: little-endian is the slab byte order, confined to the heap
 //     and Skyway-core layers — the network wire format is big-endian/varint;
 //   - atomicbaddr: baddr header words are claimed by concurrent senders via
-//     CAS, so every access outside internal/heap must be atomic.
+//     CAS, so every access outside internal/heap must be atomic;
+//   - staleaddr: a raw heap.Addr held live across a call that can trigger a
+//     collection is a stale pointer once the copying GC moves the object —
+//     root it in a gc.Handle instead (the safepoint discipline);
+//   - writebarrier: a reference store that bypasses Runtime.SetRef must
+//     still dirty the card table, or scavenges miss old-to-young edges.
 package analyzers
 
 import (
@@ -18,17 +23,33 @@ import (
 // All returns every skywayvet analyzer, in the order the multichecker runs
 // them.
 func All() []*framework.Analyzer {
-	return []*framework.Analyzer{AddrArith, RawSlab, AtomicBaddr}
+	return []*framework.Analyzer{AddrArith, RawSlab, AtomicBaddr, StaleAddr, WriteBarrier}
 }
 
-const heapPkg = "skyway/internal/heap"
+const (
+	heapPkg = "skyway/internal/heap"
+	corePkg = "skyway/internal/core"
+	gcPkg   = "skyway/internal/gc"
+)
 
-// slabLayers are the packages allowed to do raw address math and touch slab
-// byte order: the heap itself and the Skyway core (whose copy loops and
-// relativization passes are the reason the representation exists).
-var slabLayers = map[string]bool{
-	heapPkg:               true,
-	"skyway/internal/core": true,
+// exemptions is the single source of truth for which packages may violate
+// which check. The heap and Skyway core own the slab representation (raw
+// address math, slab byte order); the heap implements both baddr access
+// flavors; the collector and the heap manipulate raw addresses while the
+// world is stopped, so safepoint and barrier rules do not apply beneath
+// them.
+var exemptions = map[string]map[string]bool{
+	"addrarith":    {heapPkg: true, corePkg: true},
+	"rawslab":      {heapPkg: true, corePkg: true},
+	"atomicbaddr":  {heapPkg: true},
+	"staleaddr":    {heapPkg: true, gcPkg: true},
+	"writebarrier": {heapPkg: true, gcPkg: true},
+}
+
+// exemptPkg reports whether the pass's package is allowlisted for the
+// pass's analyzer.
+func exemptPkg(p *framework.Pass) bool {
+	return exemptions[p.Analyzer.Name][p.Pkg.Path()]
 }
 
 // isHeapAddr reports whether t is (an alias of) skyway/internal/heap.Addr.
@@ -49,4 +70,18 @@ func namedRecv(t types.Type) *types.Named {
 	}
 	n, _ := t.(*types.Named)
 	return n
+}
+
+// isHeapMethod reports whether sel resolves to a method named name on
+// heap.Heap (through a pointer receiver or not).
+func isHeapMethod(sel *types.Selection, name string) bool {
+	if sel == nil || sel.Kind() != types.MethodVal {
+		return false
+	}
+	obj := sel.Obj()
+	if obj.Name() != name || obj.Pkg() == nil || obj.Pkg().Path() != heapPkg {
+		return false
+	}
+	recv := namedRecv(sel.Recv())
+	return recv != nil && recv.Obj().Name() == "Heap"
 }

@@ -24,6 +24,14 @@ func TestAtomicBaddrFixture(t *testing.T) {
 	framework.RunFixture(t, analyzers.AtomicBaddr, fixtureRoot+"atomicbaddr")
 }
 
+func TestStaleAddrFixture(t *testing.T) {
+	framework.RunFixture(t, analyzers.StaleAddr, fixtureRoot+"staleaddr")
+}
+
+func TestWriteBarrierFixture(t *testing.T) {
+	framework.RunFixture(t, analyzers.WriteBarrier, fixtureRoot+"writebarrier")
+}
+
 // TestSuiteRunsCleanOnRepo is the acceptance gate: the production tree must
 // carry zero findings, so a regression against any slab-layer rule fails CI
 // here as well as in `go run ./cmd/skywayvet ./...`.

@@ -21,7 +21,7 @@ var AtomicBaddr = &framework.Analyzer{
 }
 
 func runAtomicBaddr(p *framework.Pass) error {
-	if p.Pkg.Path() == heapPkg {
+	if exemptPkg(p) {
 		return nil
 	}
 	for _, f := range p.Files {

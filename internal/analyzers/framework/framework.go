@@ -5,8 +5,11 @@
 // source against the toolchain's export data), runs Analyzer passes over
 // their syntax and type information, and collects positioned diagnostics.
 //
-// The deliberate subset: no facts, no modular analysis, no SSA — the
-// skywayvet analyzers are purely syntactic+type-based, which this covers.
+// Beyond the per-package AST passes, the framework offers an
+// interprocedural layer (interproc.go, liveness.go): analyzers that set
+// NeedsModule receive a module-wide call graph with a transitive mayGC
+// summary and can run CFG-based live-variable analysis per function. The
+// remaining deliberate subset: no modular fact files, no SSA.
 package framework
 
 import (
@@ -25,6 +28,9 @@ type Analyzer struct {
 	Doc string
 	// Run executes the check over one package, reporting through the pass.
 	Run func(*Pass) error
+	// NeedsModule requests the module-wide call graph: RunAll builds it
+	// once over every loaded package and hands it to the pass.
+	NeedsModule bool
 }
 
 // Pass carries one analyzed package to an Analyzer's Run, mirroring
@@ -35,6 +41,9 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Module carries whole-program facts; non-nil iff the analyzer set
+	// NeedsModule.
+	Module *Module
 	// Report records one diagnostic.
 	Report func(Diagnostic)
 }
@@ -62,10 +71,20 @@ func (f Finding) String() string {
 }
 
 // RunAll applies every analyzer to every package and returns the findings
-// sorted by file position.
+// sorted by file position. Findings on a line carrying (or directly below)
+// a `//skyway:allow <check>` comment are suppressed. The module call graph
+// is built once, lazily, if any analyzer requests it.
 func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var module *Module
+	for _, a := range analyzers {
+		if a.NeedsModule {
+			module = BuildModule(pkgs)
+			break
+		}
+	}
 	var findings []Finding
 	for _, pkg := range pkgs {
+		allow := suppressionsOf(pkg)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -74,10 +93,17 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
 			}
+			if a.NeedsModule {
+				pass.Module = module
+			}
 			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if allow.allows(a.Name, pos) {
+					return
+				}
 				findings = append(findings, Finding{
 					Analyzer: a.Name,
-					Pos:      pkg.Fset.Position(d.Pos),
+					Pos:      pos,
 					Message:  d.Message,
 				})
 			}

@@ -1,0 +1,64 @@
+package framework
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadMultiPackage loads a fixture module holding two packages, one
+// importing the other, and checks that every target comes back parsed and
+// type-checked.
+func TestLoadMultiPackage(t *testing.T) {
+	pkgs, err := Load("testdata/okmod", "./...")
+	if err != nil {
+		t.Fatalf("loading okmod: %v", err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	byPath := make(map[string]*Package)
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		if len(p.Syntax) == 0 {
+			t.Errorf("%s: no syntax", p.ImportPath)
+		}
+		if p.Types == nil || p.TypesInfo == nil {
+			t.Errorf("%s: missing type information", p.ImportPath)
+		}
+	}
+	rep, ok := byPath["okmod/report"]
+	if !ok {
+		t.Fatal("okmod/report not loaded")
+	}
+	// Cross-package resolution worked if report's imports include shapes.
+	found := false
+	for _, imp := range rep.Types.Imports() {
+		if imp.Path() == "okmod/shapes" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("okmod/report does not record its okmod/shapes import")
+	}
+}
+
+// TestLoadTypeErrorFails loads a fixture module whose packages carry a
+// deliberate type error and checks for a graceful error — not a panic, and
+// not a silent success.
+func TestLoadTypeErrorFails(t *testing.T) {
+	pkgs, err := Load("testdata/brokenmod", "./...")
+	if err == nil {
+		t.Fatalf("loading brokenmod succeeded with %d packages; want an error", len(pkgs))
+	}
+	if !strings.Contains(err.Error(), "brokenmod") {
+		t.Errorf("error does not name the failing module: %v", err)
+	}
+}
+
+// TestLoadBadPattern checks that an unresolvable pattern reports the go
+// tool's error instead of panicking.
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := Load(".", "./no/such/dir"); err == nil {
+		t.Fatal("loading a nonexistent pattern succeeded")
+	}
+}

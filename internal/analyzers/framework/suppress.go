@@ -1,0 +1,69 @@
+package framework
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppressions: a `//skyway:allow check1 check2 — justification` comment
+// silences the named checks on its own line (inline form) and on the line
+// directly below (standalone form). Everything after an em dash or a "--"
+// separator is the human justification; review policy requires one.
+
+const allowPrefix = "//skyway:allow"
+
+// suppressionIndex maps file -> line -> the set of allowed check names.
+type suppressionIndex map[string]map[int]map[string]bool
+
+// suppressionsOf scans a package's comments for skyway:allow directives.
+func suppressionsOf(pkg *Package) suppressionIndex {
+	idx := make(suppressionIndex)
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				checks := parseAllow(c.Text)
+				if len(checks) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if lines[line] == nil {
+						lines[line] = make(map[string]bool)
+					}
+					for _, name := range checks {
+						lines[line][name] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx suppressionIndex) allows(check string, pos token.Position) bool {
+	return idx[pos.Filename][pos.Line][check]
+}
+
+// parseAllow extracts the check names from one comment, or nil.
+func parseAllow(comment string) []string {
+	if !strings.HasPrefix(comment, allowPrefix) {
+		return nil
+	}
+	rest := comment[len(allowPrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil // e.g. //skyway:allowance
+	}
+	var checks []string
+	for _, field := range strings.Fields(rest) {
+		if field == "—" || field == "--" {
+			break
+		}
+		checks = append(checks, field)
+	}
+	return checks
+}

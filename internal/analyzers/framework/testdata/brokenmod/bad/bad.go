@@ -1,0 +1,11 @@
+// Package bad carries a deliberate type error so loader tests can assert
+// that Load fails gracefully instead of panicking.
+package bad
+
+import "brokenmod/good"
+
+// Oops assigns a string to an int.
+var Oops int = "not an int"
+
+// Fine is well-typed on its own.
+func Fine() int { return good.Twice(21) }

@@ -1,0 +1,5 @@
+// Package good compiles; its sibling does not.
+package good
+
+// Twice doubles its argument.
+func Twice(x int) int { return 2 * x }

@@ -1,0 +1,3 @@
+module okmod
+
+go 1.22

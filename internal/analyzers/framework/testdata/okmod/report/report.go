@@ -1,0 +1,14 @@
+// Package report imports its sibling, exercising cross-package resolution
+// inside a loaded fixture module.
+package report
+
+import (
+	"fmt"
+
+	"okmod/shapes"
+)
+
+// Describe formats a rectangle's area.
+func Describe(w, h int) string {
+	return fmt.Sprintf("%dx%d: %d", w, h, shapes.Area(w, h))
+}

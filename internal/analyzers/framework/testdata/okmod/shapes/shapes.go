@@ -1,0 +1,5 @@
+// Package shapes is half of the multi-package loader fixture.
+package shapes
+
+// Area computes a rectangle's area.
+func Area(w, h int) int { return w * h }

@@ -22,7 +22,7 @@ var RawSlab = &framework.Analyzer{
 }
 
 func runRawSlab(p *framework.Pass) error {
-	if slabLayers[p.Pkg.Path()] {
+	if exemptPkg(p) {
 		return nil
 	}
 	for _, f := range p.Files {

@@ -1,0 +1,45 @@
+// Package writebarrier is the analysis fixture for the writebarrier
+// analyzer: Heap.Store calls that can write a reference slot without
+// dirtying its card.
+package writebarrier
+
+import (
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+)
+
+// Storing a reference without the barrier hides the old-to-young edge from
+// the next scavenge.
+func badRefStore(h *heap.Heap, a heap.Addr, off uint32, v uint64) {
+	h.Store(a, off, klass.Ref, v) // want `reference store through Heap\.Store bypasses the card-table write barrier`
+}
+
+// A kind only known at run time could be Ref.
+func badDynamicKind(h *heap.Heap, a heap.Addr, f *klass.Field, v uint64) {
+	h.Store(a, f.Offset, f.Kind, v) // want `Heap\.Store with a non-constant kind may write a reference slot`
+}
+
+// Constant primitive kinds cannot write a reference.
+func goodPrimStore(h *heap.Heap, a heap.Addr, off uint32, v uint64) {
+	h.Store(a, off, klass.Int64, v)
+}
+
+// Pairing the store with a card-dirtying call in the same function
+// satisfies the barrier discipline.
+func goodBarriered(h *heap.Heap, a heap.Addr, off uint32, v uint64) {
+	h.Store(a, off, klass.Ref, v)
+	h.DirtyCard(a)
+}
+
+func goodDynamicBarriered(h *heap.Heap, a heap.Addr, f *klass.Field, v uint64) {
+	h.Store(a, f.Offset, f.Kind, v)
+	if f.Kind == klass.Ref {
+		h.DirtyRange(a, klass.WordSize)
+	}
+}
+
+// A reviewed suppression silences the finding on the next line.
+func suppressedStore(h *heap.Heap, a heap.Addr, f *klass.Field, v uint64) {
+	//skyway:allow writebarrier — fixture: the caller has checked f.Kind is primitive
+	h.Store(a, f.Offset, f.Kind, v)
+}

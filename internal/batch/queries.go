@@ -233,9 +233,14 @@ func runQB(c *Cluster, db *DB) (metrics.Breakdown, float64, error) {
 	x2, err := c.Exchange(SupplierClass, []string{"suppkey", "nationkey"},
 		func(ex *Executor, emit Emit) error {
 			db.Supplier.Each(ex, func(row heap.Addr) {
+				// Broadcasting the same row to every worker keeps it live
+				// across emit calls that may allocate; re-derive the address
+				// from a handle on each send.
+				rh := ex.RT.Pin(row)
 				for w := 0; w < c.Workers(); w++ {
-					emit(w, row)
+					emit(w, rh.Addr())
 				}
+				rh.Release()
 			})
 			return nil
 		},

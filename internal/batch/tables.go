@@ -102,7 +102,6 @@ func TPCHClasses(cp *klass.Path) {
 // heap ArrayLists.
 type Table struct {
 	Class string
-	lists []heap.Addr
 	pins  []*gc.Handle
 }
 
@@ -157,7 +156,6 @@ func Load(c *Cluster, db *datagen.TPCH) (*DB, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.lists = append(t.lists, l)
 			t.pins = append(t.pins, ex.RT.Pin(l))
 		}
 		return t, nil

@@ -206,7 +206,7 @@ func (d *tupleDecoder) Read() (heap.Addr, error) {
 		default:
 			raw = binary.BigEndian.Uint64(scratch[:])
 		}
-		d.rt.Heap.Store(rh.Addr(), f.Offset, f.Kind, raw)
+		d.rt.SetRaw(rh.Addr(), f, raw)
 	}
 	return rh.Addr(), nil
 }

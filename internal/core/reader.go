@@ -319,6 +319,7 @@ func (rd *Reader) absolutize() error {
 			}
 			if !k.IsArray {
 				for _, u := range rt.UpdatesFor(k) {
+					//skyway:allow staleaddr — a walks a chunk in pinned buffer space, which never moves (§4.3)
 					h.Store(a, u.Field.Offset, u.Field.Kind, u.Fn(rt, a))
 				}
 			}

@@ -150,10 +150,9 @@ func (c *Cluster) shuffleStart() {
 // records is a GC-safe record list: one pinned heap ArrayList per executor
 // partition.
 type records struct {
-	ex   *Executor
-	list heap.Addr
-	pin  interface{ Addr() heap.Addr }
-	rel  func()
+	ex  *Executor
+	pin interface{ Addr() heap.Addr }
+	rel func()
 }
 
 func newRecords(ex *Executor) (*records, error) {
@@ -162,7 +161,7 @@ func newRecords(ex *Executor) (*records, error) {
 		return nil, err
 	}
 	h := ex.RT.Pin(l)
-	return &records{ex: ex, list: l, pin: h, rel: h.Release}, nil
+	return &records{ex: ex, pin: h, rel: h.Release}, nil
 }
 
 func (r *records) add(a heap.Addr) error { return r.ex.RT.ListAdd(r.pin.Addr(), a) }

@@ -540,6 +540,7 @@ func (d *engineDecoder) readPrimArray(oh *gc.Handle, k *klass.Klass, n int) erro
 		if err != nil {
 			return err
 		}
+		//skyway:allow writebarrier — primitive arrays only: reference arrays take the readRef path, so k.Elem is never Ref here
 		d.rt.Heap.Store(oh.Addr(), base+uint32(i)*es, k.Elem, v)
 	}
 	return nil
@@ -579,7 +580,7 @@ func (d *engineDecoder) readFields(oh *gc.Handle, k *klass.Klass) error {
 			// Reflective Field.set unboxes a boxed primitive.
 			boxField(v)
 		}
-		d.rt.Heap.Store(oh.Addr(), f.Offset, f.Kind, v)
+		d.rt.SetRaw(oh.Addr(), f, v)
 	}
 	return nil
 }

@@ -68,6 +68,7 @@ func CheckChunk(h *heap.Heap, meta ChunkMeta, c Chunk) []Violation {
 				"buffer image of size %d overruns its chunk end %#x", size, uint64(end))})
 			return vs
 		}
+		//skyway:allow staleaddr — chunk images live in pinned buffer space and never move
 		meta.ImageRefSlots(a, func(off uint32) {
 			rel := h.Load(a, off, klass.Ref)
 			if rel == 0 {

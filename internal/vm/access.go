@@ -29,6 +29,17 @@ func (rt *Runtime) refBarrier(owner heap.Addr) {
 	}
 }
 
+// storePrim stores a value whose kind is only known at run time but must be
+// primitive; the typed setters route their dynamic-kind stores through this
+// single checked funnel.
+func (rt *Runtime) storePrim(a heap.Addr, off uint32, kind klass.Kind, v uint64) {
+	if kind == klass.Ref {
+		panic("vm: storePrim on a reference slot; use SetRef/ArraySetRef")
+	}
+	//skyway:allow writebarrier — kind is checked non-Ref above, so no reference is written
+	rt.Heap.Store(a, off, kind, v)
+}
+
 // GetLong loads a 64-bit integer field.
 func (rt *Runtime) GetLong(a heap.Addr, f *klass.Field) int64 {
 	return int64(rt.Heap.Load(a, f.Offset, f.Kind))
@@ -36,7 +47,7 @@ func (rt *Runtime) GetLong(a heap.Addr, f *klass.Field) int64 {
 
 // SetLong stores a 64-bit integer field.
 func (rt *Runtime) SetLong(a heap.Addr, f *klass.Field, v int64) {
-	rt.Heap.Store(a, f.Offset, f.Kind, uint64(v))
+	rt.storePrim(a, f.Offset, f.Kind, uint64(v))
 }
 
 // GetInt loads an integer field of any width, sign-extended.
@@ -56,7 +67,7 @@ func (rt *Runtime) GetInt(a heap.Addr, f *klass.Field) int64 {
 
 // SetInt stores an integer field of any width (truncating).
 func (rt *Runtime) SetInt(a heap.Addr, f *klass.Field, v int64) {
-	rt.Heap.Store(a, f.Offset, f.Kind, uint64(v))
+	rt.storePrim(a, f.Offset, f.Kind, uint64(v))
 }
 
 // GetBool loads a boolean field.
@@ -150,7 +161,7 @@ func (rt *Runtime) ArrayGetLong(a heap.Addr, i int) int64 {
 // ArraySetLong stores element i of an integer array (truncating).
 func (rt *Runtime) ArraySetLong(a heap.Addr, i int, v int64) {
 	off, kind := rt.elemOff(a, i)
-	rt.Heap.Store(a, off, kind, uint64(v))
+	rt.storePrim(a, off, kind, uint64(v))
 }
 
 // ArrayGetDouble loads element i of a double array.

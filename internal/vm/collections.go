@@ -148,14 +148,29 @@ func (rt *Runtime) HashMapLen(m heap.Addr) int64 {
 	return rt.GetInt(m, mapK.FieldByName("size"))
 }
 
-// HashMapEach iterates all entries.
+// HashMapEach iterates all entries. The callback may allocate — and so may
+// trigger a collection that moves the map, its table, and its nodes — so the
+// walk roots the map and the current node in handles and re-derives every
+// address after each call. The key/value addresses passed to fn are valid
+// until fn's own first allocation.
 func (rt *Runtime) HashMapEach(m heap.Addr, fn func(key, value heap.Addr)) {
 	mapK := rt.KlassOf(m)
 	nodeK := rt.MustLoad(HashMapNodeClass)
-	tab := rt.GetRef(m, mapK.FieldByName("table"))
-	for i, n := 0, rt.ArrayLen(tab); i < n; i++ {
-		for node := rt.ArrayGetRef(tab, i); node != heap.Null; node = rt.GetRef(node, nodeK.FieldByName("next")) {
-			fn(rt.GetRef(node, nodeK.FieldByName("key")), rt.GetRef(node, nodeK.FieldByName("value")))
+	tableF := mapK.FieldByName("table")
+	keyF := nodeK.FieldByName("key")
+	valueF := nodeK.FieldByName("value")
+	nextF := nodeK.FieldByName("next")
+	mh := rt.Pin(m)
+	defer mh.Release()
+	nh := rt.Pin(heap.Null)
+	defer nh.Release()
+	n := rt.ArrayLen(rt.GetRef(mh.Addr(), tableF))
+	for i := 0; i < n; i++ {
+		tab := rt.GetRef(mh.Addr(), tableF)
+		nh.Set(rt.ArrayGetRef(tab, i))
+		for nh.Addr() != heap.Null {
+			fn(rt.GetRef(nh.Addr(), keyF), rt.GetRef(nh.Addr(), valueF))
+			nh.Set(rt.GetRef(nh.Addr(), nextF))
 		}
 	}
 }

@@ -1,0 +1,62 @@
+package vm
+
+import (
+	"testing"
+
+	"skyway/internal/heap"
+)
+
+// TestHashMapEachAllocatingCallback locks in the handle-based HashMapEach
+// walk. The callback allocates enough to force scavenges mid-iteration, so
+// the map, its table, and its nodes all move while the walk is in flight; a
+// walk holding raw node addresses across the callback (the pre-handle code)
+// reads reused eden memory and loses or corrupts entries.
+func TestHashMapEachAllocatingCallback(t *testing.T) {
+	rt := smallRuntime(t)
+	pk := rt.MustLoad("Point")
+	xf := pk.FieldByName("x")
+	m, err := rt.NewHashMap(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := rt.Pin(m)
+	defer mp.Release()
+
+	const entries = 64
+	for i := 0; i < entries; i++ {
+		kp := rt.Pin(rt.MustNew(pk))
+		rt.SetInt(kp.Addr(), xf, int64(i))
+		vp := rt.Pin(rt.MustNew(pk))
+		rt.SetInt(vp.Addr(), xf, int64(1000+i))
+		if err := rt.HashMapPut(mp.Addr(), kp.Addr(), vp.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		kp.Release()
+		vp.Release()
+	}
+
+	longArr := rt.MustLoad("long[]")
+	seen := make(map[int64]int)
+	rt.HashMapEach(mp.Addr(), func(key, value heap.Addr) {
+		kx := rt.GetInt(key, xf)
+		vx := rt.GetInt(value, xf)
+		// Churn eden: with a 64 KiB eden, four 8 KiB arrays per entry force
+		// a scavenge every couple of callbacks and overwrite the memory any
+		// stale node pointer would still be reading.
+		for j := 0; j < 4; j++ {
+			rt.MustNewArray(longArr, 1024)
+		}
+		if vx != kx+1000 {
+			t.Fatalf("key %d paired with value %d", kx, vx)
+		}
+		seen[kx]++
+	})
+	if len(seen) != entries {
+		t.Fatalf("visited %d of %d entries", len(seen), entries)
+	}
+	for i := int64(0); i < entries; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("entry %d visited %d times", i, seen[i])
+		}
+	}
+}
