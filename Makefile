@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet skywayvet lint-fixtures race verify check
+.PHONY: build test vet skywayvet lint-fixtures race race-parallel verify check check-parallel
 
 build:
 	$(GO) build ./...
@@ -24,8 +24,15 @@ lint-fixtures:
 race:
 	$(GO) test -race ./...
 
+# Race tests with every dataflow cluster forced onto the concurrent
+# task path (per-executor goroutines, concurrent Skyway senders).
+race-parallel:
+	SKYWAY_PARALLEL=4 $(GO) test -race ./...
+
 # Full test suite with the heap/buffer invariant verifier enabled.
 verify:
 	SKYWAY_VERIFY=1 $(GO) test ./...
 
 check: build vet skywayvet race
+
+check-parallel: build vet skywayvet race-parallel

@@ -17,15 +17,16 @@ import (
 
 func main() {
 	var (
-		fig3   = flag.Bool("fig3", false, "Figure 3: TC/LiveJournal breakdown under Kryo and Java")
-		fig8a  = flag.Bool("fig8a", false, "Figure 8(a): apps x graphs x serializers")
-		table1 = flag.Bool("table1", false, "Table 1: graph inputs")
-		table2 = flag.Bool("table2", false, "Table 2: normalized summary (implies -fig8a)")
-		bytesA = flag.Bool("bytes", false, "extra-bytes composition analysis")
-		mem    = flag.Bool("mem", false, "memory overhead of the baddr header word")
-		scale  = flag.Float64("scale", 0.15, "graph scale (1.0 = 1/100 of the paper's sizes)")
-		apps   = flag.String("apps", "WC,PR,CC,TC", "comma-separated app subset for -fig8a")
-		heapMB = flag.Int("heap", 1024, "executor heap size in MB")
+		fig3     = flag.Bool("fig3", false, "Figure 3: TC/LiveJournal breakdown under Kryo and Java")
+		fig8a    = flag.Bool("fig8a", false, "Figure 8(a): apps x graphs x serializers")
+		table1   = flag.Bool("table1", false, "Table 1: graph inputs")
+		table2   = flag.Bool("table2", false, "Table 2: normalized summary (implies -fig8a)")
+		bytesA   = flag.Bool("bytes", false, "extra-bytes composition analysis")
+		mem      = flag.Bool("mem", false, "memory overhead of the baddr header word")
+		scale    = flag.Float64("scale", 0.15, "graph scale (1.0 = 1/100 of the paper's sizes)")
+		apps     = flag.String("apps", "WC,PR,CC,TC", "comma-separated app subset for -fig8a")
+		heapMB   = flag.Int("heap", 1024, "executor heap size in MB")
+		parallel = flag.Int("parallel", 0, "concurrent executor tasks per stage (0/1 = sequential, -1 = one per worker)")
 	)
 	flag.Parse()
 	if !*fig3 && !*fig8a && !*table1 && !*table2 && !*bytesA && !*mem {
@@ -35,6 +36,7 @@ func main() {
 	cfg := experiments.DefaultSparkConfig()
 	cfg.GraphScale = *scale
 	cfg.HeapMB = *heapMB
+	cfg.Parallel = *parallel
 
 	if *table1 {
 		fmt.Println("Table 1 — graph inputs (scaled)")

@@ -20,6 +20,7 @@ func main() {
 	scale := flag.Float64("scale", 0.2, "graph scale (1.0 = 1/100 of the paper's LiveJournal)")
 	iters := flag.Int("iters", 3, "PageRank iterations")
 	workers := flag.Int("workers", 3, "executor count")
+	parallel := flag.Int("parallel", 0, "concurrent executor tasks (0/1 = sequential, -1 = one per worker)")
 	flag.Parse()
 
 	spec, err := datagen.GraphByName("LiveJournal", *scale)
@@ -47,7 +48,7 @@ func main() {
 	for _, entry := range codecs {
 		cp := klass.NewPath()
 		dataflow.WorkloadClasses(cp)
-		c, err := dataflow.NewCluster(cp, dataflow.Config{Workers: *workers}, nil)
+		c, err := dataflow.NewCluster(cp, dataflow.Config{Workers: *workers, ParallelTasks: *parallel}, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -20,7 +20,14 @@ import (
 type Skyway struct {
 	rt *vm.Runtime
 
-	mu         sync.Mutex
+	// phaseMu orders the shuffle-phase bump against in-flight writers:
+	// every WriteObject holds the read side for its whole traversal, and
+	// ShuffleStart takes the write side, so sid can never advance (and, on
+	// 8-bit wrap, clearAllBaddrs can never run) while a writer is claiming
+	// baddr words under the old phase. Without this, a concurrent sender
+	// could publish a claim composed with a stale phase just after the
+	// bump — the §4.2 hazard the sequential harness never exercised.
+	phaseMu    sync.RWMutex
 	sid        uint32 // current shuffle phase ID (8-bit, atomically read on the hot path)
 	nextStream uint32 // stream/thread ID allocator (16-bit space)
 
@@ -55,9 +62,13 @@ func (s *Skyway) Runtime() *vm.Runtime { return s.rt }
 // the previous phase becomes stale wholesale, so output buffers are
 // logically cleared without touching any object. The 8-bit phase space
 // wraps; on wrap every live baddr word is cleared so phase 1 starts clean.
+//
+// ShuffleStart blocks until every in-flight WriteObject call has returned;
+// writers that outlive the bump get a phase-mismatch error on their next
+// WriteObject rather than silently mixing phases.
 func (s *Skyway) ShuffleStart() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.phaseMu.Lock()
+	defer s.phaseMu.Unlock()
 	next := uint8(atomic.LoadUint32(&s.sid)) + 1
 	if next == 0 {
 		s.clearAllBaddrs()
@@ -99,8 +110,9 @@ func (s *Skyway) clearAllBaddrs() {
 		a := start
 		for a < top {
 			size := s.rt.ObjectSize(addr(a))
-			// Atomic: a straggler writer from the previous phase may still
-			// CAS the word it loaded before ShuffleStart took the lock.
+			// Atomic: baddr words are only ever accessed atomically (the
+			// atomicbaddr analyzer enforces this). phaseMu already excludes
+			// concurrent writer CASes during the wrap clear.
 			h.AtomicSetBaddr(addr(a), 0)
 			a += uint64(size)
 		}

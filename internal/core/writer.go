@@ -151,6 +151,12 @@ func (w *Writer) WriteObject(root heap.Addr) error {
 	if w.closed {
 		return fmt.Errorf("skyway: write on closed stream")
 	}
+	// Hold the phase guard for the whole traversal: ShuffleStartAll cannot
+	// advance sID (or clear baddr words on wrap) while this writer is
+	// claiming them, so every claim this call publishes is composed with
+	// the phase checked below.
+	w.sky.phaseMu.RLock()
+	defer w.sky.phaseMu.RUnlock()
 	if w.sky.Phase() != w.sid {
 		return fmt.Errorf("skyway: writer opened in shuffle phase %d used in phase %d; open a new writer after ShuffleStart", w.sid, w.sky.Phase())
 	}

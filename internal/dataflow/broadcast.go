@@ -35,17 +35,31 @@ func (c *Cluster) Broadcast(root heap.Addr) ([]heap.Addr, metrics.Breakdown, err
 	bd.ShuffleBytes = int64(len(payload)) * int64(c.Workers())
 	bd.RemoteBytes = bd.ShuffleBytes
 
+	// Every worker decodes its own copy — concurrently when the cluster is
+	// parallel (each writes only its own out slot and its own runtime).
 	out := make([]heap.Addr, c.Workers())
-	for i, ex := range c.Execs {
-		start = time.Now()
+	rbd, err := c.runPerExecutor("broadcast", func(ex *Executor) (taskResult, error) {
+		var res taskResult
+		start := time.Now()
 		dec := c.Codec.NewDecoder(ex.RT, bytes.NewReader(payload))
 		got, err := dec.Read()
 		if err != nil {
-			return nil, bd, fmt.Errorf("dataflow: broadcast deserialize on worker %d: %w", i, err)
+			return res, fmt.Errorf("deserialize: %w", err)
 		}
-		bd.Deser += time.Since(start)
-		bd.ReadIO += c.Model.NetTime(int64(len(payload)))
-		out[i] = got
+		res.bd.Deser = time.Since(start)
+		res.bd.ReadIO = c.Model.NetTime(int64(len(payload)))
+		out[ex.ID] = got
+		res.wall = res.bd.Deser + res.bd.ReadIO
+		c.sampleHeap(ex)
+		return res, nil
+	})
+	bd.Add(rbd)
+	if bd.Wall > 0 {
+		// The driver-side encode precedes the concurrent receive stage.
+		bd.Wall += bd.Ser
+	}
+	if err != nil {
+		return nil, bd, err
 	}
 	bd.Records = int64(c.Workers())
 	return out, bd, nil

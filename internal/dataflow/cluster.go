@@ -10,6 +10,10 @@ package dataflow
 
 import (
 	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"time"
 
 	"skyway/internal/heap"
 	"skyway/internal/klass"
@@ -41,6 +45,23 @@ type Config struct {
 	// multiple per worker, key → worker ownership is stable regardless
 	// of the partition count.
 	PartitionsPerWorker int
+	// ParallelTasks caps how many executor tasks run concurrently per
+	// stage (map side, reduce side, Compute, Broadcast receive). 0 or 1
+	// preserves the historical sequential execution; values above the
+	// worker count are clamped to it; negative means one goroutine per
+	// executor. When zero, the SKYWAY_PARALLEL environment variable (an
+	// integer) supplies the value, so whole test runs can be switched to
+	// the concurrent path (the CI parallel job does exactly that).
+	// Results are identical either way; only scheduling and the
+	// wall-clock accounting differ (metrics.Breakdown.Wall).
+	ParallelTasks int
+	// ConcurrentSenders sets how many encoder goroutines serialize one
+	// executor's shuffle blocks concurrently — the §4.2 multi-threaded
+	// sender path, where several streams copy out of one heap at once and
+	// contend on the CAS-claimed baddr words. 0 means auto: 2 when the
+	// cluster is parallel and the codec reports ConcurrentEncoders, else
+	// 1. Codecs without the capability always serialize sequentially.
+	ConcurrentSenders int
 }
 
 // Cluster is one simulated Spark deployment.
@@ -54,15 +75,23 @@ type Cluster struct {
 	// Codec is the active data serializer (spark.serializer).
 	Codec serial.Codec
 
-	// PeakHeap tracks the maximum per-executor heap usage observed at
-	// shuffle boundaries, for the §5.2 memory-overhead experiment.
+	// PeakHeap tracks the maximum per-executor heap usage, sampled at
+	// every task completion, for the §5.2 memory-overhead experiment.
+	// Guarded by peakMu; read it only after a run returns.
 	PeakHeap uint64
+
+	// Traffic is the fabric's shared byte accounting (spill writes,
+	// local/remote fetches); safe for concurrent tasks.
+	Traffic netsim.Traffic
 
 	// SpillDir and shuffleSeq implement optional real disk spilling.
 	SpillDir   string
 	shuffleSeq int
 
 	partitionsPerWorker int
+	parallelTasks       int
+	concurrentSenders   int
+	peakMu              sync.Mutex
 }
 
 // Executor is one worker JVM.
@@ -102,9 +131,18 @@ func NewCluster(cp *klass.Path, cfg Config, codec serial.Codec) (*Cluster, error
 	if cfg.PartitionsPerWorker <= 0 {
 		cfg.PartitionsPerWorker = 2
 	}
+	if cfg.ParallelTasks == 0 {
+		if n, err := strconv.Atoi(os.Getenv("SKYWAY_PARALLEL")); err == nil {
+			cfg.ParallelTasks = n
+		}
+	}
+	if cfg.ParallelTasks < 0 || cfg.ParallelTasks > cfg.Workers {
+		cfg.ParallelTasks = cfg.Workers
+	}
 	c := &Cluster{
 		CP: cp, Reg: reg, Driver: driver, Model: cfg.Model, Codec: codec,
 		SpillDir: cfg.SpillDir, partitionsPerWorker: cfg.PartitionsPerWorker,
+		parallelTasks: cfg.ParallelTasks, concurrentSenders: cfg.ConcurrentSenders,
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		rt, err := vm.NewRuntime(cp, vm.Options{
@@ -123,19 +161,62 @@ func NewCluster(cp *klass.Path, cfg Config, codec serial.Codec) (*Cluster, error
 // Workers returns the executor count.
 func (c *Cluster) Workers() int { return len(c.Execs) }
 
+// Parallel reports whether executor tasks run concurrently.
+func (c *Cluster) Parallel() bool { return c.parallelTasks > 1 }
+
+// taskSlots returns how many executor tasks may run at once.
+func (c *Cluster) taskSlots() int {
+	if c.parallelTasks > 1 {
+		return c.parallelTasks
+	}
+	return 1
+}
+
+// senderSlots returns how many encoder goroutines serialize one executor's
+// blocks, bounded by the block count; >1 only when the codec declares its
+// encoders concurrency-safe (serial.ConcurrentCodec).
+func (c *Cluster) senderSlots(blocks int) int {
+	n := c.concurrentSenders
+	if n == 0 {
+		if c.Parallel() {
+			n = 2
+		} else {
+			n = 1
+		}
+	}
+	if n > 1 {
+		if cc, ok := c.Codec.(serial.ConcurrentCodec); !ok || !cc.ConcurrentEncoders() {
+			n = 1
+		}
+	}
+	if n > blocks {
+		n = blocks
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // NumPartitions returns the shuffle partition count.
 func (c *Cluster) NumPartitions() int { return len(c.Execs) * c.partitionsPerWorker }
 
 // OwnerOf returns the executor hosting shuffle partition p.
 func (c *Cluster) OwnerOf(p int) int { return p % len(c.Execs) }
 
-// sampleHeaps records peak executor heap usage.
-func (c *Cluster) sampleHeaps() {
-	for _, ex := range c.Execs {
-		if u := ex.RT.Heap.UsedBytes(); u > c.PeakHeap {
-			c.PeakHeap = u
-		}
+// sampleHeap records one executor's current heap usage into the cluster
+// peak. It reads only ex's own heap, so a task may call it for itself while
+// other executors run; the peak update itself is mutex-guarded. Sampling at
+// task completion (rather than only at phase boundaries, which missed the
+// receive-side high-water mark) is what the §5.2 memory-overhead numbers
+// are built on.
+func (c *Cluster) sampleHeap(ex *Executor) {
+	u := ex.RT.Heap.UsedBytes()
+	c.peakMu.Lock()
+	if u > c.PeakHeap {
+		c.PeakHeap = u
 	}
+	c.peakMu.Unlock()
 }
 
 // shuffleStart advances the Skyway shuffle phase when the active codec is
@@ -169,15 +250,72 @@ func (r *records) len() int              { return r.ex.RT.ListLen(r.pin.Addr()) 
 func (r *records) get(i int) heap.Addr   { return r.ex.RT.ListGet(r.pin.Addr(), i) }
 func (r *records) free()                 { r.rel() }
 
-// Breakdown helpers --------------------------------------------------------
+// Task execution -----------------------------------------------------------
 
-// mergeBreakdowns sums per-executor contributions; the simulated cluster
-// executes executors sequentially, so wall-clock equals the sum, matching
-// the single-executor-per-node setup of §2.2.
-func mergeBreakdowns(parts ...metrics.Breakdown) metrics.Breakdown {
+// taskResult is one executor task's contribution to a stage: its breakdown
+// components (which sum across executors into the per-node totals of §2.2)
+// and its own elapsed wall time (measured CPU plus modelled I/O; with
+// concurrent senders inside the task, the slowest sender, not their sum).
+type taskResult struct {
+	bd   metrics.Breakdown
+	wall time.Duration
+}
+
+// mergeBreakdowns folds per-executor task results into one stage breakdown.
+// Components always sum — they are per-node CPU and I/O totals. Wall-clock
+// does NOT equal that sum when tasks ran concurrently: the stage takes as
+// long as its slowest executor, so the parallel merge records the per-
+// executor max in Breakdown.Wall. Sequential runs leave Wall zero and
+// Total() falls back to the sum, preserving the historical numbers.
+func mergeBreakdowns(parallel bool, parts []taskResult) metrics.Breakdown {
 	var out metrics.Breakdown
+	var maxWall time.Duration
 	for _, p := range parts {
-		out.Add(p)
+		out.Add(p.bd)
+		if p.wall > maxWall {
+			maxWall = p.wall
+		}
+	}
+	if parallel {
+		out.Wall = maxWall
 	}
 	return out
+}
+
+// runPerExecutor runs task once per executor — concurrently, up to
+// taskSlots goroutines, when the cluster is parallel — and merges the
+// per-executor results. Each executor's runtime is confined to the single
+// goroutine running its task for the duration of the stage; stage
+// boundaries are barriers.
+func (c *Cluster) runPerExecutor(stage string, task func(ex *Executor) (taskResult, error)) (metrics.Breakdown, error) {
+	results := make([]taskResult, len(c.Execs))
+	errs := make([]error, len(c.Execs))
+	if slots := c.taskSlots(); slots > 1 {
+		sem := make(chan struct{}, slots)
+		var wg sync.WaitGroup
+		for _, ex := range c.Execs {
+			wg.Add(1)
+			go func(ex *Executor) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[ex.ID], errs[ex.ID] = task(ex)
+			}(ex)
+		}
+		wg.Wait()
+	} else {
+		for _, ex := range c.Execs {
+			results[ex.ID], errs[ex.ID] = task(ex)
+			if errs[ex.ID] != nil {
+				break
+			}
+		}
+	}
+	bd := mergeBreakdowns(c.Parallel(), results)
+	for id, err := range errs {
+		if err != nil {
+			return bd, fmt.Errorf("dataflow: %s on worker %d: %w", stage, id, err)
+		}
+	}
+	return bd, nil
 }

@@ -1,6 +1,8 @@
 package dataflow
 
 import (
+	"sync/atomic"
+
 	"skyway/internal/datagen"
 	"skyway/internal/heap"
 	"skyway/internal/metrics"
@@ -130,7 +132,8 @@ func RunConnectedComponents(c *Cluster, g *datagen.Graph, maxIters int) (metrics
 	var bd metrics.Breakdown
 
 	for it := 0; it < maxIters; it++ {
-		changedTotal := 0
+		// Summed atomically: the Compute closure runs on concurrent tasks.
+		var changedTotal int64
 		mins := make([]map[int32]int64, c.Workers())
 		spec := ShuffleSpec{
 			Produce: func(ex *Executor, emit Emit) error {
@@ -172,12 +175,14 @@ func RunConnectedComponents(c *Cluster, g *datagen.Graph, maxIters int) (metrics
 
 		ubd, err := c.Compute(func(ex *Executor) error {
 			s := states[ex.ID]
+			var changed int64
 			for v, l := range mins[ex.ID] {
 				if l < s.labels[v] {
 					s.labels[v] = l
-					changedTotal++
+					changed++
 				}
 			}
+			atomic.AddInt64(&changedTotal, changed)
 			return nil
 		})
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"skyway/internal/gc"
@@ -24,11 +25,13 @@ type Emit func(dst int, sortKey uint64, rec heap.Addr)
 // ShuffleSpec describes one shuffle phase.
 type ShuffleSpec struct {
 	// Produce runs on every executor and emits keyed records. It executes
-	// under the computation timer.
+	// under the computation timer. With a parallel cluster, Produce runs
+	// for several executors at once (one goroutine per executor), so it
+	// must only touch ex-local and read-only shared state, or synchronize.
 	Produce func(ex *Executor, emit Emit) error
 	// Consume runs on every executor over the records it received (in
 	// sorted key order per sending block). It executes under the
-	// computation timer.
+	// computation timer, with the same concurrency contract as Produce.
 	Consume func(ex *Executor, recs []heap.Addr) error
 }
 
@@ -39,6 +42,38 @@ type outRecord struct {
 	h   *gc.Handle
 }
 
+// blockStore is the shuffle block manager: serialized (mapper, partition)
+// blocks land here on the map side and are taken — exactly once — by the
+// partition's owning reducer. Parallel map and reduce tasks touch the store
+// from concurrent goroutines, so access is mutex-guarded.
+type blockStore struct {
+	mu     sync.Mutex
+	blocks map[blockKey][]byte
+}
+
+type blockKey struct{ src, dst int }
+
+func newBlockStore() *blockStore {
+	return &blockStore{blocks: make(map[blockKey][]byte)}
+}
+
+func (s *blockStore) put(src, dst int, block []byte) {
+	s.mu.Lock()
+	s.blocks[blockKey{src, dst}] = block
+	s.mu.Unlock()
+}
+
+// take removes and returns the block, or nil when absent (empty block, or
+// spilled to a real file).
+func (s *blockStore) take(src, dst int) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := blockKey{src, dst}
+	b := s.blocks[k]
+	delete(s.blocks, k)
+	return b
+}
+
 // RunShuffle executes one full shuffle phase over the cluster and returns
 // its cost breakdown:
 //
@@ -47,40 +82,80 @@ type outRecord struct {
 //	writeIO: spilling blocks to shuffle files (modelled from bytes)
 //	readIO:  fetching blocks, split local/remote (modelled from bytes)
 //	deser:   decoding fetched blocks on the reducer (measured)
+//
+// The map side and the reduce side are stages separated by a barrier; with
+// a parallel cluster, each stage's executor tasks run on concurrent
+// goroutines and the stage's wall-clock contribution is its slowest task
+// (metrics.Breakdown.Wall), while the components above still sum across
+// executors.
 func (c *Cluster) RunShuffle(spec ShuffleSpec) (metrics.Breakdown, error) {
-	var bd metrics.Breakdown
-	w := c.Workers()
 	p := c.NumPartitions()
 	c.shuffleStart()
 	c.shuffleSeq++
+	store := newBlockStore()
 
-	// --- map side: produce + sort + serialize -------------------------
-	blocks := make([][][]byte, w) // blocks[srcWorker][dstPartition]
-	for src := 0; src < w; src++ {
-		ex := c.Execs[src]
-		out := make([][]outRecord, p)
+	bd, err := c.runPerExecutor("map", func(ex *Executor) (taskResult, error) {
+		return c.mapTask(ex, spec, store, p)
+	})
+	if err != nil {
+		return bd, err
+	}
+	rbd, err := c.runPerExecutor("reduce", func(ex *Executor) (taskResult, error) {
+		return c.reduceTask(ex, spec, store, p)
+	})
+	bd.Add(rbd)
+	return bd, err
+}
 
-		start := time.Now()
-		err := spec.Produce(ex, func(dst int, key uint64, rec heap.Addr) {
-			if dst < 0 || dst >= p {
-				panic(fmt.Sprintf("dataflow: emit to partition %d of %d", dst, p))
-			}
-			out[dst] = append(out[dst], outRecord{key: key, h: ex.RT.Pin(rec)})
-		})
-		if err != nil {
-			return bd, fmt.Errorf("dataflow: produce on worker %d: %w", src, err)
-		}
-		// Sort each block by key (sort-based shuffle).
+// mapTask runs one executor's map side: produce + sort + serialize + spill.
+// Serialization fans out over senderSlots concurrent encoder streams when
+// the codec supports it — the §4.2 multi-threaded sender path, with several
+// streams claiming baddr words out of this executor's heap at once.
+func (c *Cluster) mapTask(ex *Executor, spec ShuffleSpec, store *blockStore, p int) (taskResult, error) {
+	var res taskResult
+	out := make([][]outRecord, p)
+
+	release := func() {
 		for dst := range out {
-			recs := out[dst]
-			sort.SliceStable(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+			for _, r := range out[dst] {
+				r.h.Release()
+			}
 		}
-		bd.Compute += time.Since(start)
+	}
 
-		// Serialize blocks.
-		blocks[src] = make([][]byte, p)
-		serStart := time.Now()
-		for dst := 0; dst < p; dst++ {
+	start := time.Now()
+	err := spec.Produce(ex, func(dst int, key uint64, rec heap.Addr) {
+		if dst < 0 || dst >= p {
+			panic(fmt.Sprintf("dataflow: emit to partition %d of %d", dst, p))
+		}
+		out[dst] = append(out[dst], outRecord{key: key, h: ex.RT.Pin(rec)})
+	})
+	if err != nil {
+		release()
+		return res, fmt.Errorf("produce: %w", err)
+	}
+	// Sort each block by key (sort-based shuffle).
+	for dst := range out {
+		recs := out[dst]
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+	}
+	res.bd.Compute = time.Since(start)
+
+	// Serialize blocks. Each (mapper, partition) block is its own encoder
+	// stream; sender slot k encodes blocks k, k+senders, ... so the block
+	// set is statically partitioned across the concurrent streams. The
+	// encoders only read the heap (produce is done, and this executor
+	// allocates nothing until the reduce stage), so the streams race only
+	// on the §4.2 baddr claims, which is the point.
+	senders := c.senderSlots(p)
+	blocks := make([][]byte, p)
+	serTime := make([]time.Duration, senders)
+	serErr := make([]error, senders)
+	serRecs := make([]int64, senders)
+	encode := func(slot int) {
+		start := time.Now()
+		defer func() { serTime[slot] = time.Since(start) }()
+		for dst := slot; dst < p; dst += senders {
 			if len(out[dst]) == 0 {
 				continue
 			}
@@ -88,138 +163,175 @@ func (c *Cluster) RunShuffle(spec ShuffleSpec) (metrics.Breakdown, error) {
 			enc := c.Codec.NewEncoder(ex.RT, &buf)
 			for _, r := range out[dst] {
 				if err := enc.Write(r.h.Addr()); err != nil {
-					return bd, fmt.Errorf("dataflow: serialize on worker %d: %w", src, err)
+					enc.Flush() // close the stream; output is discarded
+					serErr[slot] = fmt.Errorf("serialize: %w", err)
+					return
 				}
 			}
 			if err := enc.Flush(); err != nil {
-				return bd, err
+				serErr[slot] = err
+				return
 			}
-			blocks[src][dst] = buf.Bytes()
-			bd.Records += int64(len(out[dst]))
+			blocks[dst] = buf.Bytes()
+			serRecs[slot] += int64(len(out[dst]))
 		}
-		bd.Ser += time.Since(serStart)
-		for dst := range out {
-			for _, r := range out[dst] {
-				r.h.Release()
-			}
-		}
-
-		// Spill to shuffle files: modelled by default, or real files
-		// when Config.SpillDir is set.
-		var written int64
-		for dst := 0; dst < p; dst++ {
-			written += int64(len(blocks[src][dst]))
-		}
-		if c.SpillDir == "" {
-			bd.WriteIO += c.Model.WriteTime(written)
-		} else {
-			start := time.Now()
-			for dst := 0; dst < p; dst++ {
-				if len(blocks[src][dst]) == 0 {
-					continue
-				}
-				if err := os.WriteFile(c.spillPath(src, dst), blocks[src][dst], 0o644); err != nil {
-					return bd, fmt.Errorf("dataflow: spill: %w", err)
-				}
-				blocks[src][dst] = nil // force the fetch through the file
-			}
-			bd.WriteIO += time.Since(start)
-		}
-		bd.ShuffleBytes += written
 	}
-	c.sampleHeaps()
+	if senders > 1 {
+		var wg sync.WaitGroup
+		for s := 0; s < senders; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				encode(s)
+			}(s)
+		}
+		wg.Wait()
+	} else {
+		encode(0)
+	}
+	// Handles are released on the task goroutine after the sender streams
+	// join: the gc.Collector's handle table is runtime-confined.
+	release()
+	var serMax time.Duration
+	for s := 0; s < senders; s++ {
+		if serErr[s] != nil {
+			return res, serErr[s]
+		}
+		res.bd.Ser += serTime[s]
+		res.bd.Records += serRecs[s]
+		if serTime[s] > serMax {
+			serMax = serTime[s]
+		}
+	}
 
-	// --- reduce side: fetch + deserialize + consume --------------------
-	// Each reduce worker drains every partition it hosts, pulling that
-	// partition's block from every map worker.
-	for worker := 0; worker < w; worker++ {
-		ex := c.Execs[worker]
-		var localB, remoteB int64
-		var handles []*gc.Handle
-		var freers []interface{ Free() }
-
-		var fetchTime time.Duration
+	// Spill to shuffle files: modelled by default, or real files when
+	// Config.SpillDir is set (then the fetch goes through the file).
+	var written int64
+	for dst := 0; dst < p; dst++ {
+		written += int64(len(blocks[dst]))
+	}
+	if c.SpillDir == "" {
+		res.bd.WriteIO = c.Model.WriteTime(written)
 		for dst := 0; dst < p; dst++ {
-			if c.OwnerOf(dst) != worker {
+			if len(blocks[dst]) > 0 {
+				store.put(ex.ID, dst, blocks[dst])
+			}
+		}
+	} else {
+		start := time.Now()
+		for dst := 0; dst < p; dst++ {
+			if len(blocks[dst]) == 0 {
 				continue
 			}
-			for src := 0; src < w; src++ {
-				block := blocks[src][dst]
-				if block == nil && c.SpillDir != "" {
-					// Fetch the real block file (measured read I/O).
-					start := time.Now()
-					var err error
-					block, err = os.ReadFile(c.spillPath(src, dst))
-					if err != nil {
-						if os.IsNotExist(err) {
-							continue
-						}
-						return bd, fmt.Errorf("dataflow: fetch: %w", err)
-					}
-					fetchTime += time.Since(start)
-					os.Remove(c.spillPath(src, dst))
-				}
-				if len(block) == 0 {
-					continue
-				}
-				if src == worker {
-					localB += int64(len(block))
-				} else {
-					remoteB += int64(len(block))
-				}
-				deserStart := time.Now()
-				dec := c.Codec.NewDecoder(ex.RT, bytes.NewReader(block))
-				for {
-					rec, err := dec.Read()
-					if err != nil {
-						if isEOF(err) {
-							break
-						}
-						return bd, fmt.Errorf("dataflow: deserialize on worker %d: %w", worker, err)
-					}
-					handles = append(handles, ex.RT.Pin(rec))
-				}
-				bd.Deser += time.Since(deserStart)
-				if f, ok := dec.(interface{ Free() }); ok {
-					freers = append(freers, f)
-				}
-				blocks[src][dst] = nil
+			if err := os.WriteFile(c.spillPath(ex.ID, dst), blocks[dst], 0o644); err != nil {
+				return res, fmt.Errorf("spill: %w", err)
 			}
 		}
-		bd.LocalBytes += localB
-		bd.RemoteBytes += remoteB
-		if c.SpillDir == "" {
-			bd.ReadIO += c.Model.FetchTime(localB, remoteB)
-		} else {
-			// Disk reads are measured; the remote hop stays modelled
-			// (the simulated cluster shares one machine).
-			bd.ReadIO += fetchTime + c.Model.NetTime(remoteB)
-		}
+		res.bd.WriteIO = time.Since(start)
+	}
+	c.Traffic.AddWrite(written)
+	res.bd.ShuffleBytes = written
+	// The task's elapsed time: concurrent sender streams overlap, so the
+	// slowest stream bounds the serialization wall time.
+	res.wall = res.bd.Compute + serMax + res.bd.WriteIO
+	c.sampleHeap(ex)
+	return res, nil
+}
 
-		start := time.Now()
-		recs := make([]heap.Addr, len(handles))
-		for i, h := range handles {
-			recs[i] = h.Addr()
+// reduceTask runs one executor's reduce side: it drains every partition it
+// hosts, pulling that partition's block from every map worker, then
+// deserializes and consumes the records.
+func (c *Cluster) reduceTask(ex *Executor, spec ShuffleSpec, store *blockStore, p int) (taskResult, error) {
+	var res taskResult
+	w := c.Workers()
+	var localB, remoteB int64
+	var handles []*gc.Handle
+	var freers []interface{ Free() }
+
+	var fetchTime time.Duration
+	for dst := 0; dst < p; dst++ {
+		if c.OwnerOf(dst) != ex.ID {
+			continue
 		}
-		if spec.Consume != nil {
-			if err := spec.Consume(ex, recs); err != nil {
-				return bd, fmt.Errorf("dataflow: consume on worker %d: %w", worker, err)
+		for src := 0; src < w; src++ {
+			block := store.take(src, dst)
+			if block == nil && c.SpillDir != "" {
+				// Fetch the real block file (measured read I/O).
+				start := time.Now()
+				var err error
+				block, err = os.ReadFile(c.spillPath(src, dst))
+				if err != nil {
+					if os.IsNotExist(err) {
+						continue
+					}
+					return res, fmt.Errorf("fetch: %w", err)
+				}
+				fetchTime += time.Since(start)
+				os.Remove(c.spillPath(src, dst))
 			}
-		}
-		bd.Compute += time.Since(start)
-		for _, h := range handles {
-			h.Release()
-		}
-		// The reduce side has consumed the records; release the Skyway
-		// input buffers (the explicit-free API of §3.2 — Spark keeps
-		// buffers only while the RDD is cached, and these records are
-		// not).
-		for _, f := range freers {
-			f.Free()
+			if len(block) == 0 {
+				continue
+			}
+			if src == ex.ID {
+				localB += int64(len(block))
+			} else {
+				remoteB += int64(len(block))
+			}
+			deserStart := time.Now()
+			dec := c.Codec.NewDecoder(ex.RT, bytes.NewReader(block))
+			for {
+				rec, err := dec.Read()
+				if err != nil {
+					if isEOF(err) {
+						break
+					}
+					return res, fmt.Errorf("deserialize: %w", err)
+				}
+				handles = append(handles, ex.RT.Pin(rec))
+			}
+			res.bd.Deser += time.Since(deserStart)
+			if f, ok := dec.(interface{ Free() }); ok {
+				freers = append(freers, f)
+			}
 		}
 	}
-	c.sampleHeaps()
-	return bd, nil
+	res.bd.LocalBytes = localB
+	res.bd.RemoteBytes = remoteB
+	c.Traffic.AddFetch(localB, remoteB)
+	if c.SpillDir == "" {
+		res.bd.ReadIO = c.Model.FetchTime(localB, remoteB)
+	} else {
+		// Disk reads are measured; the remote hop stays modelled (the
+		// simulated cluster shares one machine).
+		res.bd.ReadIO = fetchTime + c.Model.NetTime(remoteB)
+	}
+
+	start := time.Now()
+	recs := make([]heap.Addr, len(handles))
+	for i, h := range handles {
+		recs[i] = h.Addr()
+	}
+	if spec.Consume != nil {
+		if err := spec.Consume(ex, recs); err != nil {
+			return res, fmt.Errorf("consume: %w", err)
+		}
+	}
+	res.bd.Compute = time.Since(start)
+	// Sample the high-water mark while the received records and their
+	// input buffers are still live — the receive side is where the §5.2
+	// memory overhead peaks.
+	c.sampleHeap(ex)
+	for _, h := range handles {
+		h.Release()
+	}
+	// The reduce side has consumed the records; release the Skyway input
+	// buffers (the explicit-free API of §3.2 — Spark keeps buffers only
+	// while the RDD is cached, and these records are not).
+	for _, f := range freers {
+		f.Free()
+	}
+	res.wall = res.bd.Deser + res.bd.ReadIO + res.bd.Compute
+	return res, nil
 }
 
 func isEOF(err error) bool { return errors.Is(err, io.EOF) }
@@ -231,15 +343,19 @@ func (c *Cluster) spillPath(src, dst int) string {
 }
 
 // Compute runs fn on every executor under the computation timer, outside
-// any shuffle — for per-partition setup and iteration bookkeeping.
+// any shuffle — for per-partition setup and iteration bookkeeping. With a
+// parallel cluster the per-executor calls run concurrently (same contract
+// as ShuffleSpec.Produce).
 func (c *Cluster) Compute(fn func(ex *Executor) error) (metrics.Breakdown, error) {
-	var bd metrics.Breakdown
-	for _, ex := range c.Execs {
+	return c.runPerExecutor("compute", func(ex *Executor) (taskResult, error) {
+		var res taskResult
 		start := time.Now()
 		if err := fn(ex); err != nil {
-			return bd, err
+			return res, err
 		}
-		bd.Compute += time.Since(start)
-	}
-	return bd, nil
+		res.bd.Compute = time.Since(start)
+		res.wall = res.bd.Compute
+		c.sampleHeap(ex)
+		return res, nil
+	})
 }

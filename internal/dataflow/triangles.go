@@ -2,6 +2,7 @@ package dataflow
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"skyway/internal/datagen"
 	"skyway/internal/heap"
@@ -66,7 +67,7 @@ func RunTriangleCounting(c *Cluster, g *datagen.Graph) (metrics.Breakdown, int64
 		sort.Slice(higher[v], func(i, j int) bool { return higher[v][i] < higher[v][j] })
 	}
 
-	var total int64
+	var total int64 // summed atomically: Consume runs on concurrent tasks
 	spec := ShuffleSpec{
 		Produce: func(ex *Executor, emit Emit) error {
 			mk := ex.RT.MustLoad(AdjMsgClass)
@@ -104,6 +105,7 @@ func RunTriangleCounting(c *Cluster, g *datagen.Graph) (metrics.Breakdown, int64
 		Consume: func(ex *Executor, recs []heap.Addr) error {
 			mk := ex.RT.MustLoad(AdjMsgClass)
 			nF := mk.FieldByName("neighbors")
+			var found int64
 			for _, r := range recs {
 				u := int32(getLong(ex, r, mk, "dst"))
 				arr := ex.RT.GetRef(r, nF)
@@ -120,12 +122,13 @@ func RunTriangleCounting(c *Cluster, g *datagen.Graph) (metrics.Breakdown, int64
 					case w > local[j]:
 						j++
 					default:
-						total++
+						found++
 						i++
 						j++
 					}
 				}
 			}
+			atomic.AddInt64(&total, found)
 			return nil
 		},
 	}

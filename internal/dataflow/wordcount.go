@@ -2,6 +2,7 @@ package dataflow
 
 import (
 	"strings"
+	"sync/atomic"
 
 	"skyway/internal/heap"
 	"skyway/internal/metrics"
@@ -15,7 +16,7 @@ import (
 // result validation).
 func RunWordCount(c *Cluster, lines [][]string) (metrics.Breakdown, int64, error) {
 	WorkloadClasses(c.CP)
-	var total int64
+	var total int64 // summed atomically: Consume runs on concurrent tasks
 
 	spec := ShuffleSpec{
 		Produce: func(ex *Executor, emit Emit) error {
@@ -56,9 +57,11 @@ func RunWordCount(c *Cluster, lines [][]string) (metrics.Breakdown, int64, error
 				w := ex.RT.GoString(ex.RT.GetRef(r, wordF))
 				agg[w] += ex.RT.GetLong(r, countF)
 			}
+			var sum int64
 			for _, n := range agg {
-				total += n
+				sum += n
 			}
+			atomic.AddInt64(&total, sum)
 			return nil
 		},
 	}

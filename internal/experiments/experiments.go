@@ -221,6 +221,10 @@ type SparkConfig struct {
 	// shuffle-heavy TriangleCounting runs need room proportional to the
 	// graph scale, like the paper's 20-30 GB executor heaps.
 	HeapMB int
+	// Parallel is dataflow.Config.ParallelTasks: how many executor tasks
+	// run concurrently per stage. 0/1 keeps the sequential harness (0 still
+	// honors SKYWAY_PARALLEL); -1 means one goroutine per executor.
+	Parallel int
 }
 
 // DefaultSparkConfig returns laptop-sized parameters.
@@ -242,7 +246,9 @@ func newSparkCluster(cfg SparkConfig, codecName string) (*dataflow.Cluster, erro
 	if cfg.Layout != nil {
 		hc.Layout = *cfg.Layout
 	}
-	c, err := dataflow.NewCluster(cp, dataflow.Config{Workers: cfg.Workers, Heap: hc, Model: cfg.Model}, nil)
+	c, err := dataflow.NewCluster(cp, dataflow.Config{
+		Workers: cfg.Workers, Heap: hc, Model: cfg.Model, ParallelTasks: cfg.Parallel,
+	}, nil)
 	if err != nil {
 		return nil, err
 	}

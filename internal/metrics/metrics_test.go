@@ -36,6 +36,42 @@ func TestTotalAndAdd(t *testing.T) {
 	}
 }
 
+func TestWallVsSum(t *testing.T) {
+	b := sample()
+	if b.Sum() != 200*time.Millisecond {
+		t.Errorf("Sum = %v", b.Sum())
+	}
+	// Sequential runs leave Wall zero: Total falls back to the component
+	// sum, so historical numbers are unchanged.
+	if b.Wall != 0 || b.Total() != b.Sum() {
+		t.Errorf("zero-Wall Total = %v, want %v", b.Total(), b.Sum())
+	}
+	// Parallel runs record measured wall-clock, which Total prefers; the
+	// components keep summing.
+	b.Wall = 120 * time.Millisecond
+	if b.Total() != 120*time.Millisecond {
+		t.Errorf("Wall-based Total = %v", b.Total())
+	}
+	if b.Sum() != 200*time.Millisecond {
+		t.Errorf("Sum changed with Wall: %v", b.Sum())
+	}
+	// Stages are barriers, so walls add across Add.
+	acc := b
+	acc.Add(b)
+	if acc.Wall != 240*time.Millisecond || acc.Sum() != 400*time.Millisecond {
+		t.Errorf("Add: wall %v sum %v", acc.Wall, acc.Sum())
+	}
+	// SDShare stays a share of CPU+IO component time (a wall denominator
+	// could push it past 1 when components overlap).
+	want := float64(70) / 200
+	if math.Abs(b.SDShare()-want) > 1e-9 {
+		t.Errorf("SDShare with Wall = %f, want %f", b.SDShare(), want)
+	}
+	if !strings.Contains(b.String(), "wall=120ms") {
+		t.Errorf("String() missing wall: %s", b.String())
+	}
+}
+
 func TestSDShare(t *testing.T) {
 	b := sample()
 	want := float64(70) / 200

@@ -7,7 +7,10 @@
 // saves >20%.
 package netsim
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // CostModel holds sustained bandwidths in bytes/second plus fixed per-
 // transfer latencies.
@@ -76,4 +79,53 @@ func (m CostModel) ReadTime(n int64) time.Duration { return cost(n, m.DiskReadBa
 // network cost into read I/O, §2.2).
 func (m CostModel) FetchTime(localBytes, remoteBytes int64) time.Duration {
 	return m.ReadTime(localBytes) + m.ReadTime(remoteBytes) + m.NetTime(remoteBytes)
+}
+
+// Traffic accumulates the fabric's byte accounting for one simulated
+// deployment: shuffle spill writes and local/remote fetches. Executor tasks
+// running on concurrent goroutines record into one shared Traffic, so every
+// counter is maintained atomically; a zero Traffic is ready to use.
+type Traffic struct {
+	written     int64
+	localRead   int64
+	remoteRead  int64
+	remoteXfers int64
+}
+
+// AddWrite records n bytes spilled to shuffle files.
+func (t *Traffic) AddWrite(n int64) {
+	if n > 0 {
+		atomic.AddInt64(&t.written, n)
+	}
+}
+
+// AddFetch records one shuffle fetch of local disk bytes and remote network
+// bytes. A remote fetch of more than zero bytes counts as one transfer (the
+// per-transfer latency unit of CostModel.NetTime).
+func (t *Traffic) AddFetch(local, remote int64) {
+	if local > 0 {
+		atomic.AddInt64(&t.localRead, local)
+	}
+	if remote > 0 {
+		atomic.AddInt64(&t.remoteRead, remote)
+		atomic.AddInt64(&t.remoteXfers, 1)
+	}
+}
+
+// TrafficSnapshot is a consistent copy of the counters.
+type TrafficSnapshot struct {
+	Written     int64 // bytes spilled to shuffle files
+	LocalRead   int64 // bytes fetched from local disk
+	RemoteRead  int64 // bytes fetched across the network
+	RemoteXfers int64 // remote fetches (latency units)
+}
+
+// Snapshot returns the current counter values.
+func (t *Traffic) Snapshot() TrafficSnapshot {
+	return TrafficSnapshot{
+		Written:     atomic.LoadInt64(&t.written),
+		LocalRead:   atomic.LoadInt64(&t.localRead),
+		RemoteRead:  atomic.LoadInt64(&t.remoteRead),
+		RemoteXfers: atomic.LoadInt64(&t.remoteXfers),
+	}
 }

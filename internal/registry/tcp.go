@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Wire protocol (Algorithm 1's driver daemon): length-free binary frames on
@@ -181,82 +182,170 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// TCPClient is a worker's connection to a remote driver registry.
+// TCPClient is a worker's connection to a remote driver registry. A LOOKUP
+// during class loading must not hang an executor forever, so every exchange
+// runs under a connection deadline and failed exchanges are retried — with
+// backoff, over a fresh connection (a timed-out request leaves the old
+// connection's framing in an unknown state) — a bounded number of times.
 type TCPClient struct {
 	mu   sync.Mutex
+	addr string
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+
+	timeout time.Duration
+	retries int
+	backoff time.Duration
 }
 
+// DialOption tunes a TCPClient's failure handling.
+type DialOption func(*TCPClient)
+
+// WithTimeout bounds each request/response exchange (and each connection
+// attempt). Default 5s.
+func WithTimeout(d time.Duration) DialOption { return func(c *TCPClient) { c.timeout = d } }
+
+// WithRetries sets how many times a failed exchange is retried over a fresh
+// connection before the error is surfaced. Default 2.
+func WithRetries(n int) DialOption { return func(c *TCPClient) { c.retries = n } }
+
+// WithBackoff sets the delay before the first retry; it doubles on each
+// subsequent one. Default 50ms.
+func WithBackoff(d time.Duration) DialOption { return func(c *TCPClient) { c.backoff = d } }
+
 // Dial connects to a driver registry server.
-func Dial(addr string) (*TCPClient, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("registry: dial %s: %w", addr, err)
+func Dial(addr string, opts ...DialOption) (*TCPClient, error) {
+	c := &TCPClient{addr: addr, timeout: 5 * time.Second, retries: 2, backoff: 50 * time.Millisecond}
+	for _, o := range opts {
+		o(c)
 	}
-	return &TCPClient{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	if err := c.redial(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// redial (re)establishes the connection. Caller holds c.mu (or owns c).
+func (c *TCPClient) redial() error {
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return fmt.Errorf("registry: dial %s: %w", c.addr, err)
+	}
+	c.conn, c.r, c.w = conn, bufio.NewReader(conn), bufio.NewWriter(conn)
+	return nil
+}
+
+// drop severs the current connection so the next attempt redials. Caller
+// holds c.mu.
+func (c *TCPClient) drop() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// exchange runs one request/response pair under the deadline/retry policy.
+// op reads and writes through c.r/c.w, which point at the current (possibly
+// fresh) connection on every attempt.
+func (c *TCPClient) exchange(op func() error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var err error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.backoff << (attempt - 1))
+		}
+		if c.conn == nil {
+			if err = c.redial(); err != nil {
+				continue
+			}
+		}
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		if err = op(); err == nil {
+			c.conn.SetDeadline(time.Time{})
+			return nil
+		}
+		// The exchange died mid-frame; the stream state is unknown.
+		c.drop()
+	}
+	return fmt.Errorf("registry: request failed after %d attempts: %w", c.retries+1, err)
 }
 
 // RequestView implements Client.
 func (c *TCPClient) RequestView() (map[string]int32, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.w.WriteByte(opView); err != nil {
-		return nil, err
-	}
-	if err := c.w.Flush(); err != nil {
-		return nil, err
-	}
-	n, err := readI32(c.r)
+	var out map[string]int32
+	err := c.exchange(func() error {
+		if err := c.w.WriteByte(opView); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		n, err := readI32(c.r)
+		if err != nil {
+			return err
+		}
+		out = make(map[string]int32, n)
+		for i := int32(0); i < n; i++ {
+			id, err := readI32(c.r)
+			if err != nil {
+				return err
+			}
+			name, err := readStr(c.r)
+			if err != nil {
+				return err
+			}
+			out[name] = id
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	out := make(map[string]int32, n)
-	for i := int32(0); i < n; i++ {
-		id, err := readI32(c.r)
-		if err != nil {
-			return nil, err
-		}
-		name, err := readStr(c.r)
-		if err != nil {
-			return nil, err
-		}
-		out[name] = id
 	}
 	return out, nil
 }
 
 // Lookup implements Client.
 func (c *TCPClient) Lookup(name string) (int32, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.w.WriteByte(opLookup); err != nil {
+	var id int32
+	err := c.exchange(func() error {
+		if err := c.w.WriteByte(opLookup); err != nil {
+			return err
+		}
+		if err := writeStr(c.w, name); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		var err error
+		id, err = readI32(c.r)
+		return err
+	})
+	if err != nil {
 		return -1, err
 	}
-	if err := writeStr(c.w, name); err != nil {
-		return -1, err
-	}
-	if err := c.w.Flush(); err != nil {
-		return -1, err
-	}
-	return readI32(c.r)
+	return id, nil
 }
 
 // Reverse implements Client.
 func (c *TCPClient) Reverse(id int32) (string, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.w.WriteByte(opReverse); err != nil {
-		return "", err
-	}
-	if err := writeI32(c.w, id); err != nil {
-		return "", err
-	}
-	if err := c.w.Flush(); err != nil {
-		return "", err
-	}
-	name, err := readStr(c.r)
+	var name string
+	err := c.exchange(func() error {
+		if err := c.w.WriteByte(opReverse); err != nil {
+			return err
+		}
+		if err := writeI32(c.w, id); err != nil {
+			return err
+		}
+		if err := c.w.Flush(); err != nil {
+			return err
+		}
+		var err error
+		name, err = readStr(c.r)
+		return err
+	})
 	if err != nil {
 		return "", err
 	}
@@ -267,4 +356,13 @@ func (c *TCPClient) Reverse(id int32) (string, error) {
 }
 
 // Close implements Client.
-func (c *TCPClient) Close() error { return c.conn.Close() }
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

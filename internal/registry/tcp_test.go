@@ -1,0 +1,133 @@
+package registry
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stallListener accepts connections and never responds — the failure mode
+// a LOOKUP without deadlines hangs on forever.
+type stallListener struct {
+	ln    net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+	acc   int
+	done  chan struct{}
+}
+
+func newStallListener(t *testing.T) *stallListener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &stallListener{ln: ln, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns = append(s.conns, c)
+			s.acc++
+			s.mu.Unlock()
+			// Read and discard forever, sending nothing back.
+			go func() {
+				buf := make([]byte, 256)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		s.mu.Lock()
+		for _, c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-s.done
+	})
+	return s
+}
+
+func (s *stallListener) accepted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acc
+}
+
+func TestTCPClientTimesOutOnStalledServer(t *testing.T) {
+	s := newStallListener(t)
+
+	c, err := Dial(s.ln.Addr().String(),
+		WithTimeout(30*time.Millisecond), WithRetries(2), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	if _, err := c.Lookup("some.Class"); err == nil {
+		t.Fatal("Lookup against a stalled server succeeded")
+	}
+	elapsed := time.Since(start)
+	if elapsed > 2*time.Second {
+		t.Fatalf("Lookup took %v; deadlines are not bounding the stall", elapsed)
+	}
+	// Each retry must have abandoned the dead connection and dialed fresh:
+	// a timed-out exchange leaves the old stream mid-frame.
+	if got := s.accepted(); got != 3 {
+		t.Errorf("server accepted %d connections, want 3 (1 initial + 2 retries)", got)
+	}
+
+	if _, err := c.RequestView(); err == nil {
+		t.Fatal("RequestView against a stalled server succeeded")
+	}
+	if _, err := c.Reverse(1); err == nil {
+		t.Fatal("Reverse against a stalled server succeeded")
+	}
+}
+
+// A client must survive a one-off stall: when the real server comes back
+// (here: the stalled endpoint is replaced by a live Server on a new dial),
+// the retry path re-establishes the connection and the lookup succeeds.
+func TestTCPClientRecoversAfterRedial(t *testing.T) {
+	reg := NewRegistry()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(reg, ln)
+	defer srv.Close()
+
+	c, err := Dial(ln.Addr().String(),
+		WithTimeout(time.Second), WithRetries(2), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Lookup("a.B"); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the client's connection under it; the next exchange must
+	// redial transparently instead of failing on the dead socket.
+	c.mu.Lock()
+	c.conn.Close()
+	c.mu.Unlock()
+	id, err := c.Lookup("c.D")
+	if err != nil {
+		t.Fatalf("Lookup after severed connection: %v", err)
+	}
+	if name, _ := reg.NameOf(id); name != "c.D" {
+		t.Errorf("recovered lookup assigned %d (%s)", id, name)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"skyway/internal/gc"
 	"skyway/internal/heap"
@@ -339,12 +340,13 @@ func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 // real. JVM reflective field access boxes every primitive (Integer.valueOf
 // and friends) and that garbage is a large share of reflection's cost; the
 // reflective baselines reproduce it with one true allocation per field.
-var boxSink *uint64
+// Atomic because encoders for different executors may box concurrently.
+var boxSink atomic.Pointer[uint64]
 
 func boxField(v uint64) {
 	b := new(uint64)
 	*b = v
-	boxSink = b
+	boxSink.Store(b)
 }
 
 // --- decoder -----------------------------------------------------------------

@@ -2,6 +2,7 @@ package serial
 
 import (
 	"io"
+	"sync"
 
 	"skyway/internal/core"
 	"skyway/internal/heap"
@@ -12,7 +13,10 @@ import (
 // harnesses can swap it in wherever a baseline serializer is used — the
 // drop-in integration §3.3 is about.
 type SkywayCodec struct {
-	// Services maps each runtime to its Skyway service. A codec is shared
+	// mu guards services: executor tasks on concurrent goroutines open
+	// encoders and decoders through one shared codec.
+	mu sync.RWMutex
+	// services maps each runtime to its Skyway service. A codec is shared
 	// by senders and receivers, and Skyway state is per runtime.
 	services map[*vm.Runtime]*core.Skyway
 	// Compact switches writers to the compact wire encoding (the header/
@@ -38,8 +42,15 @@ func NewSkywayCompactCodec(runtimes ...*vm.Runtime) *SkywayCodec {
 
 // ServiceFor returns (registering if needed) the Skyway service for rt.
 func (c *SkywayCodec) ServiceFor(rt *vm.Runtime) *core.Skyway {
+	c.mu.RLock()
 	s, ok := c.services[rt]
-	if !ok {
+	c.mu.RUnlock()
+	if ok {
+		return s
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok = c.services[rt]; !ok {
 		s = core.New(rt)
 		c.services[rt] = s
 	}
@@ -47,12 +58,26 @@ func (c *SkywayCodec) ServiceFor(rt *vm.Runtime) *core.Skyway {
 }
 
 // ShuffleStartAll begins a new shuffle phase on every runtime (§3.3's
-// shuffleStart mark, applied cluster-wide by the harness).
+// shuffleStart mark, applied cluster-wide by the harness). Each service's
+// ShuffleStart blocks until that runtime's in-flight writers drain, so the
+// bump is a true barrier against the previous phase.
 func (c *SkywayCodec) ShuffleStartAll() {
+	c.mu.RLock()
+	services := make([]*core.Skyway, 0, len(c.services))
 	for _, s := range c.services {
+		services = append(services, s)
+	}
+	c.mu.RUnlock()
+	for _, s := range services {
 		s.ShuffleStart()
 	}
 }
+
+// ConcurrentEncoders implements ConcurrentCodec: Skyway encoders on one
+// heap may run on concurrent goroutines — per-object visited state lives in
+// the CAS-claimed baddr header words and per-writer hash-table fallbacks
+// (§4.2), not in shared mutable tables.
+func (c *SkywayCodec) ConcurrentEncoders() bool { return true }
 
 // Name implements Codec.
 func (c *SkywayCodec) Name() string {
