@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet skywayvet lint-fixtures race race-parallel verify check check-parallel
+.PHONY: build test vet skywayvet lint-fixtures race race-parallel verify check check-parallel bench-json bench-cmp
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,23 @@ race-parallel:
 # Full test suite with the heap/buffer invariant verifier enabled.
 verify:
 	SKYWAY_VERIFY=1 $(GO) test ./...
+
+# Benchmark trajectory: regenerate BENCH_spark.json / BENCH_flink.json at the
+# canonical smoke scale. Override BENCH_SCALE / BENCH_SF for bigger runs and
+# BENCH_DIR to write somewhere other than the repo root.
+BENCH_SCALE ?= 0.05
+BENCH_SF    ?= 0.25
+BENCH_DIR   ?= .
+
+bench-json:
+	mkdir -p $(BENCH_DIR)
+	$(GO) run ./cmd/sparkbench -scale $(BENCH_SCALE) -bench-json $(BENCH_DIR)/BENCH_spark.json
+	$(GO) run ./cmd/flinkbench -sf $(BENCH_SF) -bench-json $(BENCH_DIR)/BENCH_flink.json
+
+# Compare a freshly generated trajectory against the checked-in baselines.
+bench-cmp:
+	$(GO) run ./cmd/benchcmp -tol 0.20 BENCH_spark.json $(BENCH_DIR)/BENCH_spark.json
+	$(GO) run ./cmd/benchcmp -tol 0.20 BENCH_flink.json $(BENCH_DIR)/BENCH_flink.json
 
 check: build vet skywayvet race
 

@@ -1,0 +1,44 @@
+// Command benchcmp compares two benchmark trajectory files (BENCH_spark.json /
+// BENCH_flink.json) and exits non-zero when any entry's Total regressed past
+// the tolerance, or when an entry present in the baseline is missing from the
+// current run. CI runs it against the checked-in baselines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"skyway/internal/experiments"
+)
+
+func main() {
+	tol := flag.Float64("tol", 0.20, "allowed Total regression before failing (0.20 = +20%)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintf(os.Stderr, "usage: benchcmp [-tol f] base.json current.json\n")
+		os.Exit(2)
+	}
+	base, err := experiments.ReadBenchFile(flag.Arg(0))
+	if err != nil {
+		log.Fatalf("benchcmp: %v", err)
+	}
+	cur, err := experiments.ReadBenchFile(flag.Arg(1))
+	if err != nil {
+		log.Fatalf("benchcmp: %v", err)
+	}
+	regs := experiments.CompareBench(base, cur, *tol)
+	if len(regs) == 0 {
+		fmt.Printf("benchcmp: %d entries within +%.0f%% of baseline\n", len(base.Entries), *tol*100)
+		return
+	}
+	for _, r := range regs {
+		if r.Missing {
+			fmt.Printf("MISSING  %-40s baseline %v\n", r.Key, r.BaseNS)
+			continue
+		}
+		fmt.Printf("REGRESS  %-40s %v -> %v (%.2fx, tol %.2fx)\n", r.Key, r.BaseNS, r.CurNS, r.Ratio, 1+*tol)
+	}
+	os.Exit(1)
+}

@@ -12,19 +12,25 @@ import (
 
 	"skyway/internal/batch"
 	"skyway/internal/experiments"
+	"skyway/internal/obs"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "Table 3: query descriptions")
-		fig8b  = flag.Bool("fig8b", false, "Figure 8(b): QA-QE under built-in and Skyway serializers")
-		table4 = flag.Bool("table4", false, "Table 4: normalized summary (implies -fig8b)")
-		sf     = flag.Float64("sf", 1.0, "TPC-H scale factor (1.0 ≈ 60k lineitems)")
+		list      = flag.Bool("list", false, "Table 3: query descriptions")
+		fig8b     = flag.Bool("fig8b", false, "Figure 8(b): QA-QE under built-in and Skyway serializers")
+		table4    = flag.Bool("table4", false, "Table 4: normalized summary (implies -fig8b)")
+		sf        = flag.Float64("sf", 1.0, "TPC-H scale factor (1.0 ≈ 60k lineitems)")
+		benchJSON = flag.String("bench-json", "", "write the benchmark trajectory (fig8b entries) to this JSON file")
 	)
 	flag.Parse()
-	if !*list && !*fig8b && !*table4 {
+	if !*list && !*fig8b && !*table4 && *benchJSON == "" {
 		*list, *fig8b, *table4 = true, true, true
 	}
+	if *benchJSON != "" {
+		*fig8b = true
+	}
+	defer obs.DumpIfEnabled()
 
 	if *list {
 		fmt.Println("Table 3 — queries")
@@ -34,7 +40,7 @@ func main() {
 		fmt.Println()
 	}
 
-	if !*fig8b && !*table4 {
+	if !*fig8b && !*table4 && *benchJSON == "" {
 		return
 	}
 	cfg := experiments.DefaultFlinkConfig()
@@ -62,6 +68,14 @@ func main() {
 			digests[c.Query] = c.Digest
 		}
 		fmt.Println()
+	}
+
+	if *benchJSON != "" {
+		f := experiments.FlinkBenchFile(cells)
+		if err := f.Write(*benchJSON); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("benchmark trajectory (%d entries) written to %s\n", len(f.Entries), *benchJSON)
 	}
 
 	if *table4 {

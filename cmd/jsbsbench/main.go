@@ -12,6 +12,7 @@ import (
 
 	"skyway/internal/experiments"
 	"skyway/internal/netsim"
+	"skyway/internal/obs"
 )
 
 func main() {
@@ -21,6 +22,7 @@ func main() {
 	n := flag.Int("n", 20000, "media-content graphs per run")
 	infiniband := flag.Bool("infiniband", false, "use the InfiniBand model instead of 1 GbE")
 	flag.Parse()
+	defer obs.DumpIfEnabled()
 
 	model := netsim.Paper1GbE()
 	if *infiniband {

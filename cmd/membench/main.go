@@ -10,11 +10,13 @@ import (
 	"log"
 
 	"skyway/internal/experiments"
+	"skyway/internal/obs"
 )
 
 func main() {
 	scale := flag.Float64("scale", 0.15, "graph scale (1.0 = 1/100 of the paper's sizes)")
 	flag.Parse()
+	defer obs.DumpIfEnabled()
 
 	cfg := experiments.DefaultSparkConfig()
 	cfg.GraphScale = *scale

@@ -8,15 +8,18 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 
+	"skyway/internal/obs"
 	"skyway/internal/registry"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7741", "listen address")
 	snapshot := flag.String("snapshot", "", "snapshot file: restored at startup if present, written at shutdown (restart-safe type IDs, §4.1)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus text metrics on this address (e.g. 127.0.0.1:9090) at /metrics")
 	flag.Parse()
 
 	reg := registry.NewRegistry()
@@ -40,6 +43,28 @@ func main() {
 	}
 	srv := registry.Serve(reg, ln)
 	log.Printf("skywayd: type registry listening on %s", ln.Addr())
+
+	if *metricsAddr != "" {
+		obs.RegisterGauge("skyway_registry_types", "Types currently registered in the daemon registry.",
+			func() float64 { return float64(reg.Len()) })
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := obs.WriteMetrics(w); err != nil {
+				log.Printf("skywayd: /metrics: %v", err)
+			}
+		})
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("skywayd: metrics: %v", err)
+		}
+		go func() {
+			if err := http.Serve(mln, mux); err != nil && !os.IsTimeout(err) {
+				log.Printf("skywayd: metrics server: %v", err)
+			}
+		}()
+		log.Printf("skywayd: Prometheus metrics on http://%s/metrics", mln.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -13,30 +13,48 @@ import (
 	"skyway/internal/datagen"
 	"skyway/internal/experiments"
 	"skyway/internal/metrics"
+	"skyway/internal/obs"
 )
 
 func main() {
 	var (
-		fig3     = flag.Bool("fig3", false, "Figure 3: TC/LiveJournal breakdown under Kryo and Java")
-		fig8a    = flag.Bool("fig8a", false, "Figure 8(a): apps x graphs x serializers")
-		table1   = flag.Bool("table1", false, "Table 1: graph inputs")
-		table2   = flag.Bool("table2", false, "Table 2: normalized summary (implies -fig8a)")
-		bytesA   = flag.Bool("bytes", false, "extra-bytes composition analysis")
-		mem      = flag.Bool("mem", false, "memory overhead of the baddr header word")
-		scale    = flag.Float64("scale", 0.15, "graph scale (1.0 = 1/100 of the paper's sizes)")
-		apps     = flag.String("apps", "WC,PR,CC,TC", "comma-separated app subset for -fig8a")
-		heapMB   = flag.Int("heap", 1024, "executor heap size in MB")
-		parallel = flag.Int("parallel", 0, "concurrent executor tasks per stage (0/1 = sequential, -1 = one per worker)")
+		fig3      = flag.Bool("fig3", false, "Figure 3: TC/LiveJournal breakdown under Kryo and Java")
+		fig8a     = flag.Bool("fig8a", false, "Figure 8(a): apps x graphs x serializers")
+		table1    = flag.Bool("table1", false, "Table 1: graph inputs")
+		table2    = flag.Bool("table2", false, "Table 2: normalized summary (implies -fig8a)")
+		bytesA    = flag.Bool("bytes", false, "extra-bytes composition analysis")
+		mem       = flag.Bool("mem", false, "memory overhead of the baddr header word")
+		scale     = flag.Float64("scale", 0.15, "graph scale (1.0 = 1/100 of the paper's sizes)")
+		apps      = flag.String("apps", "WC,PR,CC,TC", "comma-separated app subset for -fig8a")
+		heapMB    = flag.Int("heap", 0, "executor heap size in MB (0 = per-experiment default: 96 for the memory-pressured -fig3 motivation run, 1024 elsewhere)")
+		parallel  = flag.Int("parallel", 0, "concurrent executor tasks per stage (0/1 = sequential, -1 = one per worker)")
+		benchJSON = flag.String("bench-json", "", "write the benchmark trajectory (fig3 + fig8a entries) to this JSON file")
 	)
 	flag.Parse()
-	if !*fig3 && !*fig8a && !*table1 && !*table2 && !*bytesA && !*mem {
+	if !*fig3 && !*fig8a && !*table1 && !*table2 && !*bytesA && !*mem && *benchJSON == "" {
 		*fig3, *table1, *table2, *bytesA, *mem = true, true, true, true, true
 	}
+	if *benchJSON != "" {
+		// The trajectory file needs both figure data sets.
+		*fig3 = true
+		*fig8a = true
+	}
+	defer obs.DumpIfEnabled()
 
 	cfg := experiments.DefaultSparkConfig()
 	cfg.GraphScale = *scale
 	cfg.HeapMB = *heapMB
 	cfg.Parallel = *parallel
+	if cfg.HeapMB == 0 {
+		cfg.HeapMB = 1024
+	}
+	// Figure 3 is the §2.2 motivation experiment: the paper measured it on
+	// memory-pressured executors where GC pauses and S/D costs dominate, so
+	// its default heap is deliberately tight.
+	fig3Cfg := cfg
+	if *heapMB == 0 {
+		fig3Cfg.HeapMB = 96
+	}
 
 	if *table1 {
 		fmt.Println("Table 1 — graph inputs (scaled)")
@@ -48,14 +66,16 @@ func main() {
 		fmt.Println()
 	}
 
+	var fig3Res []experiments.Fig3Result
 	if *fig3 {
 		fmt.Println("Figure 3 — Spark S/D cost: TriangleCounting over LiveJournal (3 workers)")
-		res, err := experiments.RunFig3(cfg)
+		var err error
+		fig3Res, err = experiments.RunFig3(fig3Cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		printBreakdownTable(toCells(res))
-		for _, r := range res {
+		printBreakdownTable(toCells(fig3Res))
+		for _, r := range fig3Res {
 			fmt.Printf("  %-6s S/D share of total: %.1f%% (paper: >30%%)\n", r.Serializer, r.Breakdown.SDShare()*100)
 		}
 		fmt.Println()
@@ -94,6 +114,14 @@ func main() {
 			eb.SkywayBytes, eb.KryoBytes, float64(eb.SkywayBytes)/float64(eb.KryoBytes))
 		fmt.Printf("  skyway stream composition: headers %.0f%%, padding %.0f%%, pointers %.0f%% of extra bytes (paper: 51%%/34%%/15%%)\n\n",
 			eb.HeaderShare*100, eb.PadShare*100, eb.PtrShare*100)
+	}
+
+	if *benchJSON != "" {
+		f := experiments.SparkBenchFile(fig3Res, cells)
+		if err := f.Write(*benchJSON); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("benchmark trajectory (%d entries) written to %s\n\n", len(f.Entries), *benchJSON)
 	}
 
 	if *mem {

@@ -19,6 +19,7 @@ import (
 	"skyway/internal/klass"
 	"skyway/internal/metrics"
 	"skyway/internal/netsim"
+	"skyway/internal/obs"
 	"skyway/internal/registry"
 	"skyway/internal/serial"
 	"skyway/internal/vm"
@@ -79,6 +80,9 @@ func NewCluster(cp *klass.Path, cfg Config, factory CodecFactory) (*Cluster, err
 	if cfg.Model.NetBandwidth == 0 {
 		cfg.Model = netsim.Paper1GbE()
 	}
+	if cfg.Model.Trace == nil {
+		cfg.Model.Trace = obs.NewTracer("fabric")
+	}
 	reg := registry.NewRegistry()
 	c := &Cluster{CP: cp, Reg: reg, Model: cfg.Model, NewCodec: factory}
 	for i := 0; i < cfg.Workers; i++ {
@@ -97,6 +101,27 @@ func NewCluster(cp *klass.Path, cfg Config, factory CodecFactory) (*Cluster, err
 
 // Workers returns the task-manager count.
 func (c *Cluster) Workers() int { return len(c.Execs) }
+
+// GCStats aggregates collector statistics across the task managers.
+func (c *Cluster) GCStats() gc.Stats {
+	var s gc.Stats
+	for _, ex := range c.Execs {
+		s.Merge(ex.RT.GC.Stats())
+	}
+	return s
+}
+
+// BufferPeak returns the largest input-buffer high-water mark across the
+// task managers.
+func (c *Cluster) BufferPeak() uint64 {
+	var peak uint64
+	for _, ex := range c.Execs {
+		if hw := ex.RT.Heap.BufferHighWater(); hw > peak {
+			peak = hw
+		}
+	}
+	return peak
+}
 
 func (c *Cluster) sampleHeaps() {
 	for _, ex := range c.Execs {

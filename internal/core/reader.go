@@ -6,12 +6,22 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"skyway/internal/gc"
 	"skyway/internal/heap"
 	"skyway/internal/klass"
+	"skyway/internal/obs"
 	"skyway/internal/verify"
 	"skyway/internal/vm"
+)
+
+// Receiver-side transfer counters, exported on /metrics.
+var (
+	ctrObjectsRecv = obs.NewCounter("skyway_transfer_objects_received_total", "Objects absolutized out of received Skyway chunks.")
+	ctrBytesRecv   = obs.NewCounter("skyway_transfer_bytes_received_total", "Bytes received into pinned input-buffer chunks.")
+	ctrChunks      = obs.NewCounter("skyway_transfer_chunks_total", "Input-buffer chunks allocated for incoming segments.")
+	ctrRecvStreams = obs.NewCounter("skyway_transfer_recv_streams_total", "Skyway receiver streams drained to end-of-stream.")
 )
 
 // Reader receives a Skyway stream into the runtime's heap: each incoming
@@ -46,6 +56,12 @@ type Reader struct {
 	// Objects and Bytes report per-reader transfer volume.
 	Objects uint64
 	Bytes   uint64
+
+	// openedAt anchors the stream's receive span; zero when tracing was
+	// disabled at open time. eofSeen keeps the span single-shot when
+	// ReadObject is called again after end-of-stream.
+	openedAt time.Time
+	eofSeen  bool
 }
 
 type chunk struct {
@@ -67,7 +83,11 @@ func NewReader(rt *vm.Runtime, r io.Reader) *Reader {
 	if !ok {
 		br = bufio.NewReaderSize(r, 16<<10)
 	}
-	return &Reader{rt: rt, r: br, verify: verify.Enabled()}
+	rd := &Reader{rt: rt, r: br, verify: verify.Enabled()}
+	if obs.Enabled() {
+		rd.openedAt = time.Now()
+	}
+	return rd
 }
 
 // ReadObject returns the next transferred root object. It consumes frames
@@ -119,6 +139,17 @@ func (rd *Reader) ReadObject() (heap.Addr, error) {
 			}
 			return rd.translate(rel)
 		case frameEnd:
+			if !rd.eofSeen {
+				rd.eofSeen = true
+				ctrRecvStreams.Inc()
+				if !rd.openedAt.IsZero() {
+					rd.rt.Trace.Emit("transfer", "skyway.recv", rd.openedAt, time.Since(rd.openedAt),
+						obs.I64("objects", int64(rd.Objects)),
+						obs.I64("bytes", int64(rd.Bytes)),
+						obs.I64("chunks", int64(len(rd.chunks))),
+						obs.I64("stream_id", int64(rd.streamID)))
+				}
+			}
 			return heap.Null, io.EOF
 		default:
 			return heap.Null, fmt.Errorf("skyway: unknown frame tag %#x", tag)
@@ -171,6 +202,8 @@ func (rd *Reader) readSegment() error {
 	rd.chunks = append(rd.chunks, chunk{startRel: startRel, base: base, size: n})
 	rd.pins = append(rd.pins, rd.rt.GC.Pin(base, n))
 	rd.Bytes += uint64(n)
+	ctrChunks.Inc()
+	ctrBytesRecv.Add(int64(n))
 	return nil
 }
 
@@ -211,6 +244,8 @@ func (rd *Reader) readCompactSegment() error {
 	rd.chunks = append(rd.chunks, chunk{startRel: startRel, base: base, size: decoded})
 	rd.pins = append(rd.pins, pin)
 	rd.Bytes += uint64(decoded)
+	ctrChunks.Inc()
+	ctrBytesRecv.Add(int64(decoded))
 	return nil
 }
 
@@ -245,6 +280,8 @@ func (rd *Reader) absolutize() error {
 	rt := rd.rt
 	h := rt.Heap
 	limit := rd.received()
+	objects0 := rd.Objects
+	defer func() { ctrObjectsRecv.Add(int64(rd.Objects - objects0)) }()
 	for ; rd.parsed < len(rd.chunks); rd.parsed++ {
 		c := &rd.chunks[rd.parsed]
 		a := c.base + heap.Addr(c.done)

@@ -5,10 +5,20 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 
 	"skyway/internal/heap"
 	"skyway/internal/klass"
+	"skyway/internal/obs"
 	"skyway/internal/verify"
+)
+
+// Process-wide transfer counters, exported on /metrics.
+var (
+	ctrObjectsSent  = obs.NewCounter("skyway_transfer_objects_sent_total", "Objects copied into Skyway output buffers.")
+	ctrBytesSent    = obs.NewCounter("skyway_transfer_bytes_sent_total", "Bytes written to Skyway output streams.")
+	ctrOverflowHits = obs.NewCounter("skyway_transfer_overflow_hits_total", "Shared-object visits resolved through the thread-local hash table instead of the baddr word.")
+	ctrSendStreams  = obs.NewCounter("skyway_transfer_send_streams_total", "Skyway sender streams closed.")
 )
 
 // DefaultBufferSize is the default output-buffer capacity. Output buffers
@@ -45,6 +55,14 @@ type Writer struct {
 	// Flush/Close (hot-loop atomics are expensive).
 	headerB, padB, ptrB, overflowHits uint64
 	statObjects, statBytes            uint64
+
+	// Per-writer cumulative composition totals (never reset), reported on
+	// the stream's transfer span at Close.
+	totHeaderB, totPadB, totPtrB, totOverflow uint64
+
+	// openedAt anchors the stream's transfer span; zero when tracing was
+	// disabled at open time.
+	openedAt time.Time
 
 	// payloadB caches per-klass unpadded payload sizes for the byte-
 	// composition accounting.
@@ -118,6 +136,9 @@ func (s *Skyway) NewWriter(w io.Writer, opts ...WriterOption) *Writer {
 		flushed:   relBias,
 		allocable: relBias,
 		verify:    verify.Enabled(),
+	}
+	if obs.Enabled() {
+		wr.openedAt = time.Now()
 	}
 	for _, o := range opts {
 		o(wr)
@@ -494,6 +515,13 @@ func (w *Writer) foldStats() {
 	atomic.AddUint64(&w.sky.stats.PointerBytes, w.ptrB)
 	atomic.AddUint64(&w.sky.stats.PaddingBytes, w.padB)
 	atomic.AddUint64(&w.sky.stats.OverflowHits, w.overflowHits)
+	ctrObjectsSent.Add(int64(w.statObjects))
+	ctrBytesSent.Add(int64(w.statBytes))
+	ctrOverflowHits.Add(int64(w.overflowHits))
+	w.totHeaderB += w.headerB
+	w.totPtrB += w.ptrB
+	w.totPadB += w.padB
+	w.totOverflow += w.overflowHits
 	w.statObjects, w.statBytes, w.headerB, w.ptrB, w.padB, w.overflowHits = 0, 0, 0, 0, 0, 0
 }
 
@@ -623,5 +651,16 @@ func (w *Writer) Close() error {
 		return err
 	}
 	_, err := w.w.Write([]byte{frameEnd})
+	ctrSendStreams.Inc()
+	if !w.openedAt.IsZero() {
+		w.sky.rt.Trace.Emit("transfer", "skyway.send", w.openedAt, time.Since(w.openedAt),
+			obs.I64("objects", int64(w.Objects)),
+			obs.I64("bytes", int64(w.Bytes)),
+			obs.I64("header_bytes", int64(w.totHeaderB)),
+			obs.I64("pointer_bytes", int64(w.totPtrB)),
+			obs.I64("padding_bytes", int64(w.totPadB)),
+			obs.I64("overflow_hits", int64(w.totOverflow)),
+			obs.I64("stream_id", int64(w.streamID)))
+	}
 	return err
 }

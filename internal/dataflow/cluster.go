@@ -15,13 +15,21 @@ import (
 	"sync"
 	"time"
 
+	"skyway/internal/gc"
 	"skyway/internal/heap"
 	"skyway/internal/klass"
 	"skyway/internal/metrics"
 	"skyway/internal/netsim"
+	"skyway/internal/obs"
 	"skyway/internal/registry"
 	"skyway/internal/serial"
 	"skyway/internal/vm"
+)
+
+// Scheduler counters, exported on /metrics.
+var (
+	ctrStages = obs.NewCounter("skyway_dataflow_stages_total", "Stages executed across all clusters.")
+	ctrTasks  = obs.NewCounter("skyway_dataflow_tasks_total", "Executor tasks executed across all clusters.")
 )
 
 // Config sizes a cluster.
@@ -123,6 +131,10 @@ func NewCluster(cp *klass.Path, cfg Config, codec serial.Codec) (*Cluster, error
 	if cfg.Model.NetBandwidth == 0 {
 		cfg.Model = netsim.Paper1GbE()
 	}
+	if cfg.Model.Trace == nil {
+		// Modelled disk/network charges get their own trace timeline.
+		cfg.Model.Trace = obs.NewTracer("fabric")
+	}
 	reg := registry.NewRegistry()
 	driver, err := vm.NewRuntime(cp, vm.Options{Name: "driver", Registry: registry.InProc{R: reg}})
 	if err != nil {
@@ -200,6 +212,29 @@ func (c *Cluster) senderSlots(blocks int) int {
 
 // NumPartitions returns the shuffle partition count.
 func (c *Cluster) NumPartitions() int { return len(c.Execs) * c.partitionsPerWorker }
+
+// GCStats aggregates collector statistics across the driver and all
+// executors — the per-deployment GC pause totals the benchmark trajectory
+// records next to each figure's breakdown.
+func (c *Cluster) GCStats() gc.Stats {
+	s := c.Driver.GC.Stats()
+	for _, ex := range c.Execs {
+		s.Merge(ex.RT.GC.Stats())
+	}
+	return s
+}
+
+// BufferPeak returns the largest input-buffer high-water mark across the
+// executors (driver heaps never host input buffers in these workloads).
+func (c *Cluster) BufferPeak() uint64 {
+	var peak uint64
+	for _, ex := range c.Execs {
+		if hw := ex.RT.Heap.BufferHighWater(); hw > peak {
+			peak = hw
+		}
+	}
+	return peak
+}
 
 // OwnerOf returns the executor hosting shuffle partition p.
 func (c *Cluster) OwnerOf(p int) int { return p % len(c.Execs) }
@@ -288,6 +323,28 @@ func mergeBreakdowns(parallel bool, parts []taskResult) metrics.Breakdown {
 // goroutine running its task for the duration of the stage; stage
 // boundaries are barriers.
 func (c *Cluster) runPerExecutor(stage string, task func(ex *Executor) (taskResult, error)) (metrics.Breakdown, error) {
+	ctrStages.Inc()
+	ctrTasks.Add(int64(len(c.Execs)))
+	stageSpan := c.Driver.Trace.Span("stage", stage)
+	defer stageSpan.End()
+	if obs.Enabled() {
+		// Wrap each task in a span on its executor's timeline carrying the
+		// task's breakdown components.
+		inner := task
+		task = func(ex *Executor) (taskResult, error) {
+			sp := ex.RT.Trace.Span("task", stage)
+			res, err := inner(ex)
+			sp.Arg("compute_ns", int64(res.bd.Compute)).
+				Arg("ser_ns", int64(res.bd.Ser)).
+				Arg("deser_ns", int64(res.bd.Deser)).
+				Arg("write_io_ns", int64(res.bd.WriteIO)).
+				Arg("read_io_ns", int64(res.bd.ReadIO)).
+				Arg("shuffle_bytes", res.bd.ShuffleBytes).
+				Arg("records", res.bd.Records).
+				End()
+			return res, err
+		}
+	}
 	results := make([]taskResult, len(c.Execs))
 	errs := make([]error, len(c.Execs))
 	if slots := c.taskSlots(); slots > 1 {

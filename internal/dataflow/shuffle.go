@@ -14,6 +14,7 @@ import (
 	"skyway/internal/gc"
 	"skyway/internal/heap"
 	"skyway/internal/metrics"
+	"skyway/internal/obs"
 )
 
 // Emit sends one record to a destination shuffle partition during the map
@@ -152,9 +153,16 @@ func (c *Cluster) mapTask(ex *Executor, spec ShuffleSpec, store *blockStore, p i
 	serTime := make([]time.Duration, senders)
 	serErr := make([]error, senders)
 	serRecs := make([]int64, senders)
+	serBytes := make([]int64, senders)
 	encode := func(slot int) {
+		// Codec-agnostic transfer span: baseline serializers never enter
+		// internal/core, so the encode stream itself is the traced unit.
+		sp := ex.RT.Trace.Span("transfer", "shuffle.encode")
 		start := time.Now()
-		defer func() { serTime[slot] = time.Since(start) }()
+		defer func() {
+			serTime[slot] = time.Since(start)
+			sp.Arg("bytes", serBytes[slot]).Arg("records", serRecs[slot]).Arg("slot", int64(slot)).End()
+		}()
 		for dst := slot; dst < p; dst += senders {
 			if len(out[dst]) == 0 {
 				continue
@@ -174,6 +182,7 @@ func (c *Cluster) mapTask(ex *Executor, spec ShuffleSpec, store *blockStore, p i
 			}
 			blocks[dst] = buf.Bytes()
 			serRecs[slot] += int64(len(out[dst]))
+			serBytes[slot] += int64(len(buf.Bytes()))
 		}
 	}
 	if senders > 1 {
@@ -289,7 +298,13 @@ func (c *Cluster) reduceTask(ex *Executor, spec ShuffleSpec, store *blockStore, 
 				}
 				handles = append(handles, ex.RT.Pin(rec))
 			}
-			res.bd.Deser += time.Since(deserStart)
+			deserTime := time.Since(deserStart)
+			res.bd.Deser += deserTime
+			if obs.Enabled() {
+				ex.RT.Trace.Emit("transfer", "shuffle.decode", deserStart, deserTime,
+					obs.I64("bytes", int64(len(block))),
+					obs.I64("src", int64(src)), obs.I64("dst", int64(dst)))
+			}
 			if f, ok := dec.(interface{ Free() }); ok {
 				freers = append(freers, f)
 			}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"skyway/internal/gc"
+	"skyway/internal/metrics"
+)
+
+// BenchEntry is one figure cell of the benchmark trajectory: the per-figure
+// totals plus GC pause accounting, serialized to BENCH_spark.json /
+// BENCH_flink.json so CI can compare runs over time.
+type BenchEntry struct {
+	Figure     string `json:"figure"`          // "fig3", "fig8a", "fig8b"
+	App        string `json:"app,omitempty"`   // Spark workload (WC/PR/CC/TC)
+	Graph      string `json:"graph,omitempty"` // input graph name
+	Query      string `json:"query,omitempty"` // Flink query (QA..QE)
+	Serializer string `json:"serializer"`      // java/kryo/skyway/flink-builtin
+
+	TotalNS int64   `json:"total_ns"` // Breakdown.Total
+	SumNS   int64   `json:"sum_ns"`   // Breakdown.Sum (component sum)
+	WallNS  int64   `json:"wall_ns"`  // Breakdown.Wall (0 when sequential)
+	SDShare float64 `json:"sd_share"` // S/D fraction of the component sum
+
+	ShuffleBytes int64 `json:"shuffle_bytes"`
+	RemoteBytes  int64 `json:"remote_bytes"`
+	Records      int64 `json:"records"`
+
+	GCPauses      int   `json:"gc_pauses"`
+	GCPauseNS     int64 `json:"gc_pause_ns"`
+	GCFullGCs     int   `json:"gc_full_gcs"`
+	GCPromotionFG int   `json:"gc_promotion_full_gcs"`
+
+	BufferPeak uint64 `json:"buffer_peak,omitempty"`
+}
+
+// BenchFile is the checked-in trajectory document.
+type BenchFile struct {
+	Engine  string       `json:"engine"` // "spark" or "flink"
+	Entries []BenchEntry `json:"entries"`
+}
+
+// Key identifies an entry across runs.
+func (e BenchEntry) Key() string {
+	return fmt.Sprintf("%s/%s%s%s/%s", e.Figure, e.App, e.Graph, e.Query, e.Serializer)
+}
+
+func benchEntry(figure string, bd metrics.Breakdown, gcs gc.Stats) BenchEntry {
+	return BenchEntry{
+		Figure:        figure,
+		TotalNS:       int64(bd.Total()),
+		SumNS:         int64(bd.Sum()),
+		WallNS:        int64(bd.Wall),
+		SDShare:       bd.SDShare(),
+		ShuffleBytes:  bd.ShuffleBytes,
+		RemoteBytes:   bd.RemoteBytes,
+		Records:       bd.Records,
+		GCPauses:      gcs.Pauses,
+		GCPauseNS:     int64(gcs.TotalPause()),
+		GCFullGCs:     gcs.FullGCs,
+		GCPromotionFG: gcs.PromotionFullGCs,
+	}
+}
+
+// SparkBenchFile assembles the Spark trajectory from Figure 3 results and
+// Figure 8(a) matrix cells.
+func SparkBenchFile(fig3 []Fig3Result, cells []SparkCell) BenchFile {
+	f := BenchFile{Engine: "spark"}
+	for _, r := range fig3 {
+		e := benchEntry("fig3", r.Breakdown, r.GC)
+		e.App, e.Graph, e.Serializer = "TC", "LiveJournal", r.Serializer
+		f.Entries = append(f.Entries, e)
+	}
+	for _, c := range cells {
+		e := benchEntry("fig8a", c.Breakdown, c.GC)
+		e.App, e.Graph, e.Serializer = string(c.App), c.Graph, c.Serializer
+		e.BufferPeak = c.BufferPeak
+		f.Entries = append(f.Entries, e)
+	}
+	f.sort()
+	return f
+}
+
+// FlinkBenchFile assembles the Flink trajectory from Figure 8(b) cells.
+func FlinkBenchFile(cells []FlinkCell) BenchFile {
+	f := BenchFile{Engine: "flink"}
+	for _, c := range cells {
+		e := benchEntry("fig8b", c.Breakdown, c.GC)
+		e.Query, e.Serializer = string(c.Query), c.Serializer
+		e.BufferPeak = c.BufferPeak
+		f.Entries = append(f.Entries, e)
+	}
+	f.sort()
+	return f
+}
+
+func (f *BenchFile) sort() {
+	sort.Slice(f.Entries, func(i, j int) bool { return f.Entries[i].Key() < f.Entries[j].Key() })
+}
+
+// Write saves the trajectory as indented JSON.
+func (f BenchFile) Write(path string) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadBenchFile loads a trajectory document.
+func ReadBenchFile(path string) (BenchFile, error) {
+	var f BenchFile
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	err = json.Unmarshal(b, &f)
+	return f, err
+}
+
+// Regression is one entry whose Total regressed past the tolerance.
+type Regression struct {
+	Key           string
+	BaseNS, CurNS int64
+	Ratio         float64
+	Missing       bool // entry present in base but absent from cur
+}
+
+// CompareBench flags entries of cur whose Total exceeds base's by more than
+// tol (e.g. 0.20 = +20%), and base entries missing from cur. Entries new in
+// cur are ignored (the trajectory is allowed to grow).
+func CompareBench(base, cur BenchFile, tol float64) []Regression {
+	curBy := make(map[string]BenchEntry, len(cur.Entries))
+	for _, e := range cur.Entries {
+		curBy[e.Key()] = e
+	}
+	var out []Regression
+	for _, b := range base.Entries {
+		c, ok := curBy[b.Key()]
+		if !ok {
+			out = append(out, Regression{Key: b.Key(), BaseNS: b.TotalNS, Missing: true})
+			continue
+		}
+		if b.TotalNS <= 0 {
+			continue
+		}
+		ratio := float64(c.TotalNS) / float64(b.TotalNS)
+		if ratio > 1+tol {
+			out = append(out, Regression{Key: b.Key(), BaseNS: b.TotalNS, CurNS: c.TotalNS, Ratio: ratio})
+		}
+	}
+	return out
+}

@@ -14,6 +14,7 @@ import (
 	"skyway/internal/batch"
 	"skyway/internal/dataflow"
 	"skyway/internal/datagen"
+	"skyway/internal/gc"
 	"skyway/internal/heap"
 	"skyway/internal/klass"
 	"skyway/internal/metrics"
@@ -272,16 +273,33 @@ func newSparkCluster(cfg SparkConfig, codecName string) (*dataflow.Cluster, erro
 	return c, nil
 }
 
+// RunInfo is the full result of one experiment cell: the cost breakdown
+// plus the observability extras the benchmark trajectory records.
+type RunInfo struct {
+	Breakdown  metrics.Breakdown
+	Digest     float64
+	PeakHeap   uint64   // peak executor heap usage
+	BufferPeak uint64   // peak input-buffer usage (Skyway receive side)
+	GC         gc.Stats // pause and promotion totals across the cluster
+}
+
 // SparkRun executes one (app, graph, serializer) cell and returns the
 // breakdown, a result digest (codec-independent) and the cluster's peak
 // executor heap usage.
 func SparkRun(app SparkApp, g *datagen.Graph, codecName string, cfg SparkConfig) (metrics.Breakdown, float64, uint64, error) {
+	info, err := SparkRunInfo(app, g, codecName, cfg)
+	return info.Breakdown, info.Digest, info.PeakHeap, err
+}
+
+// SparkRunInfo is SparkRun returning the full RunInfo, including the
+// cluster's GC statistics and buffer high-water mark.
+func SparkRunInfo(app SparkApp, g *datagen.Graph, codecName string, cfg SparkConfig) (RunInfo, error) {
 	// Start every cell from a clean Go heap so one cell's garbage does
 	// not become background GC work inside the next cell's timers.
 	runtime.GC()
 	c, err := newSparkCluster(cfg, codecName)
 	if err != nil {
-		return metrics.Breakdown{}, 0, 0, err
+		return RunInfo{}, err
 	}
 	var bd metrics.Breakdown
 	var digest float64
@@ -310,7 +328,13 @@ func SparkRun(app SparkApp, g *datagen.Graph, codecName string, cfg SparkConfig)
 	default:
 		err = fmt.Errorf("experiments: unknown app %q", app)
 	}
-	return bd, digest, c.PeakHeap, err
+	return RunInfo{
+		Breakdown:  bd,
+		Digest:     digest,
+		PeakHeap:   c.PeakHeap,
+		BufferPeak: c.BufferPeak(),
+		GC:         c.GCStats(),
+	}, err
 }
 
 // SparkCell is one bar of Figure 8(a).
@@ -320,6 +344,8 @@ type SparkCell struct {
 	Serializer string
 	Breakdown  metrics.Breakdown
 	Digest     float64
+	GC         gc.Stats
+	BufferPeak uint64
 }
 
 // RunSparkMatrix reproduces Figure 8(a): every app × graph × serializer.
@@ -329,11 +355,15 @@ func RunSparkMatrix(cfg SparkConfig, graphs []datagen.GraphSpec, apps []SparkApp
 		g := spec.Generate()
 		for _, app := range apps {
 			for _, ser := range SparkSerializers() {
-				bd, digest, _, err := SparkRun(app, g, ser, cfg)
+				info, err := SparkRunInfo(app, g, ser, cfg)
 				if err != nil {
 					return nil, fmt.Errorf("%s/%s/%s: %w", app, spec.Name, ser, err)
 				}
-				cells = append(cells, SparkCell{App: app, Graph: spec.Name, Serializer: ser, Breakdown: bd, Digest: digest})
+				cells = append(cells, SparkCell{
+					App: app, Graph: spec.Name, Serializer: ser,
+					Breakdown: info.Breakdown, Digest: info.Digest,
+					GC: info.GC, BufferPeak: info.BufferPeak,
+				})
 			}
 		}
 	}
@@ -368,6 +398,7 @@ func Table2(cells []SparkCell) map[string]*metrics.Summary {
 type Fig3Result struct {
 	Serializer string
 	Breakdown  metrics.Breakdown
+	GC         gc.Stats
 }
 
 // RunFig3 reproduces Figure 3(a)/(b).
@@ -379,11 +410,11 @@ func RunFig3(cfg SparkConfig) ([]Fig3Result, error) {
 	g := spec.Generate()
 	var out []Fig3Result
 	for _, ser := range []string{"kryo", "java"} {
-		bd, _, _, err := SparkRun(TC, g, ser, cfg)
+		info, err := SparkRunInfo(TC, g, ser, cfg)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, Fig3Result{Serializer: ser, Breakdown: bd})
+		out = append(out, Fig3Result{Serializer: ser, Breakdown: info.Breakdown, GC: info.GC})
 	}
 	return out, nil
 }
@@ -490,6 +521,8 @@ type FlinkCell struct {
 	Serializer string
 	Breakdown  metrics.Breakdown
 	Digest     float64
+	GC         gc.Stats
+	BufferPeak uint64
 }
 
 // FlinkConfig parameterizes the Flink matrix.
@@ -530,7 +563,10 @@ func RunFlinkMatrix(cfg FlinkConfig, queries []batch.Query) ([]FlinkCell, error)
 				return nil, fmt.Errorf("%s/%s: %w", mode, q, err)
 			}
 			db.Free()
-			cells = append(cells, FlinkCell{Query: q, Serializer: mode, Breakdown: bd, Digest: digest})
+			cells = append(cells, FlinkCell{
+				Query: q, Serializer: mode, Breakdown: bd, Digest: digest,
+				GC: c.GCStats(), BufferPeak: c.BufferPeak(),
+			})
 		}
 	}
 	return cells, nil

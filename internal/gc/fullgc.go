@@ -1,6 +1,11 @@
 package gc
 
-import "skyway/internal/heap"
+import (
+	"time"
+
+	"skyway/internal/heap"
+	"skyway/internal/obs"
+)
 
 // FullGC performs a stop-the-world full collection: mark from all roots,
 // then Lisp-2 sliding compaction of the old generation, with eden and
@@ -10,6 +15,18 @@ import "skyway/internal/heap"
 // references rewritten like any other object.
 func (c *Collector) FullGC() {
 	c.stats.FullGCs++
+	ctrFullGCs.Inc()
+	// Attribution: a full GC reached through a scavenge headroom bail is
+	// one promotion-triggered pause, not two overlapping collections (the
+	// bailed scavenge recorded nothing).
+	cause := "explicit"
+	if c.promotionFallback {
+		cause = "promotion"
+		c.stats.PromotionFullGCs++
+		c.promotionFallback = false
+	}
+	pauseStart := time.Now()
+	compacted0 := c.stats.CompactedB
 	h := c.h
 	if c.VerifyHook != nil {
 		c.VerifyHook("before-full-gc")
@@ -152,6 +169,9 @@ func (c *Collector) FullGC() {
 	if c.VerifyHook != nil {
 		c.VerifyHook("after-full-gc")
 	}
+	c.recordPause("full-gc", cause, pauseStart,
+		obs.I64("compacted_bytes", int64(c.stats.CompactedB-compacted0)),
+		obs.I64("evacuated", boolArg(evacuate)))
 }
 
 // eachRegionObject walks region r linearly. Valid only for bump-allocated

@@ -11,9 +11,22 @@ package gc
 
 import (
 	"fmt"
+	"time"
 
 	"skyway/internal/heap"
 	"skyway/internal/klass"
+	"skyway/internal/obs"
+)
+
+// Process-wide collection counters, exported on /metrics. Per-collector
+// accounting lives in Stats; these aggregate across every runtime in the
+// process.
+var (
+	ctrScavenges = obs.NewCounter("skyway_gc_scavenges_total", "Young (copying) collections across all runtimes.")
+	ctrFullGCs   = obs.NewCounter("skyway_gc_full_gcs_total", "Full mark-compact collections across all runtimes.")
+	ctrPauseNS   = obs.NewCounter("skyway_gc_pause_ns_total", "Total stop-the-world collection pause time in nanoseconds.")
+	ctrPromoted  = obs.NewCounter("skyway_gc_promoted_bytes_total", "Bytes promoted from the young to the old generation.")
+	ctrCards     = obs.NewCounter("skyway_gc_cards_scanned_total", "Dirty cards scanned for old-to-young roots during scavenges.")
 )
 
 // Meta supplies the object-model knowledge the collector needs. It is
@@ -67,6 +80,45 @@ type Stats struct {
 	CopiedB     uint64
 	CompactedB  uint64
 	HandleCount int
+
+	// PromotionFullGCs counts the FullGCs attributed to a scavenge that
+	// bailed for lack of promotion headroom — the nested-collection path.
+	// Such a pair is ONE pause (the full GC's); the bailed scavenge does
+	// no work and records no pause, so pause accounting stays disjoint.
+	PromotionFullGCs int
+
+	// Pauses counts stop-the-world collection pauses; ScavengePause and
+	// FullGCPause partition the total pause time (they never overlap),
+	// and MaxPause is the longest single pause.
+	Pauses        int
+	ScavengePause time.Duration
+	FullGCPause   time.Duration
+	MaxPause      time.Duration
+
+	// CardsScanned counts the dirty cards whose objects were scanned for
+	// old-to-young roots during scavenges.
+	CardsScanned uint64
+}
+
+// TotalPause returns the summed stop-the-world time.
+func (s Stats) TotalPause() time.Duration { return s.ScavengePause + s.FullGCPause }
+
+// Merge accumulates other into s (cluster-wide GC accounting).
+func (s *Stats) Merge(other Stats) {
+	s.Scavenges += other.Scavenges
+	s.FullGCs += other.FullGCs
+	s.PromotedB += other.PromotedB
+	s.CopiedB += other.CopiedB
+	s.CompactedB += other.CompactedB
+	s.HandleCount += other.HandleCount
+	s.PromotionFullGCs += other.PromotionFullGCs
+	s.Pauses += other.Pauses
+	s.ScavengePause += other.ScavengePause
+	s.FullGCPause += other.FullGCPause
+	if other.MaxPause > s.MaxPause {
+		s.MaxPause = other.MaxPause
+	}
+	s.CardsScanned += other.CardsScanned
 }
 
 // Collector owns GC state for one heap.
@@ -90,7 +142,46 @@ type Collector struct {
 	// the repro's VerifyBeforeGC/VerifyAfterGC.
 	VerifyHook func(stage string)
 
+	// Trace receives one span per collection pause ("gc"/"scavenge",
+	// "gc"/"full-gc") when tracing is on; the vm runtime wires its own
+	// tracer here. Nil is fine (spans no-op).
+	Trace *obs.Tracer
+
+	// promotionFallback marks that the last scavenge bailed for lack of
+	// promotion headroom, so the next FullGC is attributed to promotion
+	// pressure rather than an explicit request — and the pair reports one
+	// pause, not two overlapping ones.
+	promotionFallback bool
+
 	stats Stats
+}
+
+// recordPause folds one finished stop-the-world pause into the statistics,
+// counters, and trace. Exactly one call per collection that did work: a
+// scavenge that bailed up front records nothing.
+func (c *Collector) recordPause(kind, cause string, start time.Time, args ...obs.Arg) {
+	pause := time.Since(start)
+	c.stats.Pauses++
+	if kind == "scavenge" {
+		c.stats.ScavengePause += pause
+	} else {
+		c.stats.FullGCPause += pause
+	}
+	if pause > c.stats.MaxPause {
+		c.stats.MaxPause = pause
+	}
+	ctrPauseNS.Add(pause.Nanoseconds())
+	if c.Trace != nil && obs.Enabled() {
+		args = append(args, obs.I64("cause_promotion", boolArg(cause == "promotion")))
+		c.Trace.Emit("gc", kind, start, pause, args...)
+	}
+}
+
+func boolArg(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // New builds a collector for h using meta for object walking.
@@ -194,9 +285,17 @@ func (c *Collector) eachPinnedObject(fn func(a heap.Addr)) {
 func (c *Collector) Scavenge() bool {
 	h := c.h
 	if h.Old.Free() < h.Eden.Used()+h.From.Used() {
+		// The caller will fall back to a full collection; mark it so that
+		// FullGC attributes its (single) pause to promotion pressure. The
+		// bail itself did no work and records no pause.
+		c.promotionFallback = true
 		return false
 	}
+	c.promotionFallback = false
 	c.stats.Scavenges++
+	ctrScavenges.Inc()
+	pauseStart := time.Now()
+	promoted0, copied0, cards0 := c.stats.PromotedB, c.stats.CopiedB, c.stats.CardsScanned
 	if c.VerifyHook != nil {
 		c.VerifyHook("before-scavenge")
 	}
@@ -255,6 +354,7 @@ func (c *Collector) Scavenge() bool {
 		if !h.RangeDirty(a, size) {
 			return
 		}
+		c.stats.CardsScanned += cardSpan(a, size)
 		c.meta.RefSlots(a, func(off uint32) { fixSlot(a, off) })
 	})
 	// Roots: parsed Skyway input buffers holding young pointers (possible
@@ -264,6 +364,7 @@ func (c *Collector) Scavenge() bool {
 		if !h.RangeDirty(a, size) {
 			return
 		}
+		c.stats.CardsScanned += cardSpan(a, size)
 		c.meta.RefSlots(a, func(off uint32) { fixSlot(a, off) })
 	})
 
@@ -286,7 +387,20 @@ func (c *Collector) Scavenge() bool {
 	if c.VerifyHook != nil {
 		c.VerifyHook("after-scavenge")
 	}
+	promoted := c.stats.PromotedB - promoted0
+	cards := c.stats.CardsScanned - cards0
+	ctrPromoted.Add(int64(promoted))
+	ctrCards.Add(int64(cards))
+	c.recordPause("scavenge", "allocation", pauseStart,
+		obs.I64("promoted_bytes", int64(promoted)),
+		obs.I64("copied_bytes", int64(c.stats.CopiedB-copied0)),
+		obs.I64("cards_scanned", int64(cards)))
 	return true
+}
+
+// cardSpan returns how many card-table cards the object at a covers.
+func cardSpan(a heap.Addr, size uint32) uint64 {
+	return (uint64(a)+uint64(size)-1)/heap.CardSize - uint64(a)/heap.CardSize + 1
 }
 
 const refKind = klass.Ref

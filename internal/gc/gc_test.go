@@ -85,6 +85,97 @@ func TestScavengeBailsWhenOldFull(t *testing.T) {
 	}
 }
 
+// A scavenge that bails for lack of promotion headroom and falls back to a
+// full mark-compact must report ONE pause, attributed to promotion pressure
+// — not a scavenge pause overlapping a full-GC pause.
+func TestFallbackPauseAccountingDisjoint(t *testing.T) {
+	rt := newRT(t)
+	k := rt.MustLoad("long[]")
+	// Fill old gen almost completely so the headroom check fails.
+	for {
+		a := rt.Heap.AllocOld(4096)
+		if a == heap.Null {
+			break
+		}
+		rt.Heap.ZeroWords(a, 4096)
+		rt.Heap.SetKlassWord(a, uint64(k.LID))
+		rt.Heap.SetArrayLen(a, (4096-int(rt.Heap.Layout().ArrayHeaderSize()))/8)
+	}
+	rt.Heap.AllocYoung(8192)
+
+	before := rt.GC.Stats()
+	// The vm allocation slow path: scavenge refuses, full GC runs.
+	if rt.GC.Scavenge() {
+		t.Fatal("scavenge proceeded without promotion headroom")
+	}
+	rt.GC.FullGC()
+	s := rt.GC.Stats()
+
+	if got := s.Pauses - before.Pauses; got != 1 {
+		t.Errorf("fallback pair recorded %d pauses, want 1", got)
+	}
+	if s.Scavenges != before.Scavenges {
+		t.Errorf("bailed scavenge was counted: %d -> %d", before.Scavenges, s.Scavenges)
+	}
+	if s.ScavengePause != before.ScavengePause {
+		t.Errorf("bailed scavenge accrued pause time: %v -> %v", before.ScavengePause, s.ScavengePause)
+	}
+	if s.FullGCPause <= before.FullGCPause {
+		t.Errorf("full GC pause not recorded: %v -> %v", before.FullGCPause, s.FullGCPause)
+	}
+	if got := s.PromotionFullGCs - before.PromotionFullGCs; got != 1 {
+		t.Errorf("PromotionFullGCs delta = %d, want 1 (promotion-triggered attribution)", got)
+	}
+	// Disjoint partition: total pause time is exactly the two buckets.
+	if s.TotalPause() != s.ScavengePause+s.FullGCPause {
+		t.Errorf("TotalPause %v != ScavengePause %v + FullGCPause %v",
+			s.TotalPause(), s.ScavengePause, s.FullGCPause)
+	}
+	// A later explicit full GC is NOT promotion-attributed: the fallback
+	// mark must not stick.
+	rt.GC.FullGC()
+	s2 := rt.GC.Stats()
+	if s2.PromotionFullGCs != s.PromotionFullGCs {
+		t.Errorf("explicit FullGC after fallback still promotion-attributed: %d -> %d",
+			s.PromotionFullGCs, s2.PromotionFullGCs)
+	}
+	if got := s2.Pauses - s.Pauses; got != 1 {
+		t.Errorf("explicit FullGC recorded %d pauses, want 1", got)
+	}
+}
+
+// A successful scavenge after a bail clears the promotion attribution.
+func TestFallbackMarkClearedBySuccessfulScavenge(t *testing.T) {
+	rt := newRT(t)
+	k := rt.MustLoad("N")
+	h := rt.Pin(rt.MustNew(k))
+	defer h.Release()
+	if !rt.GC.Scavenge() {
+		t.Fatal("scavenge refused on a fresh heap")
+	}
+	s := rt.GC.Stats()
+	if s.Scavenges != 1 || s.Pauses != 1 || s.ScavengePause <= 0 {
+		t.Errorf("scavenge pause not recorded: %+v", s)
+	}
+	rt.GC.FullGC()
+	if got := rt.GC.Stats().PromotionFullGCs; got != 0 {
+		t.Errorf("FullGC after successful scavenge promotion-attributed: %d", got)
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := gc.Stats{Scavenges: 1, FullGCs: 2, PromotedB: 10, Pauses: 3, ScavengePause: 5, FullGCPause: 7, MaxPause: 4, CardsScanned: 9}
+	b := gc.Stats{Scavenges: 2, FullGCs: 1, PromotedB: 5, Pauses: 2, ScavengePause: 1, FullGCPause: 2, MaxPause: 6, CardsScanned: 1}
+	a.Merge(b)
+	if a.Scavenges != 3 || a.FullGCs != 3 || a.PromotedB != 15 || a.Pauses != 5 ||
+		a.ScavengePause != 6 || a.FullGCPause != 9 || a.MaxPause != 6 || a.CardsScanned != 10 {
+		t.Errorf("Merge = %+v", a)
+	}
+	if a.TotalPause() != 15 {
+		t.Errorf("TotalPause = %v", a.TotalPause())
+	}
+}
+
 func TestFullGCCompactsOldGen(t *testing.T) {
 	rt := newRT(t)
 	k := rt.MustLoad("N")

@@ -112,6 +112,10 @@ type Heap struct {
 	// developer explicitly frees the buffer". First-fit; chunk sizes are
 	// uniform enough in practice that fragmentation stays bounded.
 	bufFree []Region
+
+	// bufHighWater is the peak of BufferUsed over the heap's lifetime —
+	// the §5.2 memory-overhead figure for input-buffer space.
+	bufHighWater uint64
 }
 
 // New builds a heap from cfg.
@@ -295,10 +299,34 @@ func (h *Heap) AllocBuffer(size uint32) Addr {
 			if span.Start == span.End {
 				h.bufFree = append(h.bufFree[:i], h.bufFree[i+1:]...)
 			}
+			h.noteBufferUse()
 			return a
 		}
 	}
-	return h.Buffers.Alloc(uint64(size))
+	a := h.Buffers.Alloc(uint64(size))
+	if a != Null {
+		h.noteBufferUse()
+	}
+	return a
+}
+
+// BufferUsed returns the bytes currently live in buffer space: the bump
+// extent minus the explicitly freed spans awaiting reuse.
+func (h *Heap) BufferUsed() uint64 {
+	used := h.Buffers.Used()
+	for _, span := range h.bufFree {
+		used -= uint64(span.End - span.Start)
+	}
+	return used
+}
+
+// BufferHighWater returns the peak of BufferUsed over the heap's lifetime.
+func (h *Heap) BufferHighWater() uint64 { return h.bufHighWater }
+
+func (h *Heap) noteBufferUse() {
+	if u := h.BufferUsed(); u > h.bufHighWater {
+		h.bufHighWater = u
+	}
 }
 
 // FreeBufferRange returns an explicitly freed input-buffer chunk to the

@@ -251,6 +251,138 @@ func TestBufferFreeListReuse(t *testing.T) {
 	}
 }
 
+// checkBufInvariants asserts the buffer allocator's internal consistency:
+// every free span lies inside buffer space, is non-empty, spans are mutually
+// disjoint, and BufferUsed never exceeds the bump extent.
+func checkBufInvariants(t *testing.T, h *Heap) {
+	t.Helper()
+	for i, s := range h.bufFree {
+		if s.Start >= s.End {
+			t.Fatalf("free span %d empty or inverted: [%#x, %#x)", i, uint64(s.Start), uint64(s.End))
+		}
+		if !h.Buffers.Contains(s.Start) || s.End > h.Buffers.Top {
+			t.Fatalf("free span %d [%#x, %#x) outside allocated buffer space (top %#x)",
+				i, uint64(s.Start), uint64(s.End), uint64(h.Buffers.Top))
+		}
+		for j, o := range h.bufFree[:i] {
+			if s.Start < o.End && o.Start < s.End {
+				t.Fatalf("free spans %d and %d overlap", i, j)
+			}
+		}
+	}
+	if h.BufferUsed() > h.Buffers.Used() {
+		t.Fatalf("BufferUsed %d exceeds bump extent %d", h.BufferUsed(), h.Buffers.Used())
+	}
+}
+
+// TestBufferInterleavedFreeAlloc drives the free-list through interleaved
+// frees and allocations of different-sized chunks — the pattern a Skyway
+// receiver produces when streams of different record sizes are freed out of
+// order (§3.2 explicit free).
+func TestBufferInterleavedFreeAlloc(t *testing.T) {
+	h := testHeap()
+	sizes := []uint32{512, 4096, 1024, 8192, 2048, 512, 4096, 1024}
+	addrs := make([]Addr, len(sizes))
+	for i, n := range sizes {
+		addrs[i] = h.AllocBuffer(n)
+		if addrs[i] == Null {
+			t.Fatalf("alloc %d (%d bytes) failed", i, n)
+		}
+		checkBufInvariants(t, h)
+	}
+	// Free every other chunk (interior holes of mixed sizes).
+	for i := 0; i < len(sizes); i += 2 {
+		h.FreeBufferRange(addrs[i], sizes[i])
+		checkBufInvariants(t, h)
+	}
+	used := h.BufferUsed()
+	var freed uint64
+	for i := 0; i < len(sizes); i += 2 {
+		freed += uint64(sizes[i])
+	}
+	var total uint64
+	for _, n := range sizes {
+		total += uint64(n)
+	}
+	if used != total-freed {
+		t.Fatalf("BufferUsed = %d, want %d", used, total-freed)
+	}
+	// Small allocations must be served out of the holes (first-fit), not
+	// fresh bump space.
+	topBefore := h.Buffers.Top
+	for _, n := range []uint32{256, 256, 1024, 512} {
+		if a := h.AllocBuffer(n); a == Null {
+			t.Fatalf("hole alloc of %d failed", n)
+		} else if a >= topBefore {
+			t.Fatalf("alloc of %d bytes at %#x came from bump space, not a hole", n, uint64(a))
+		}
+		checkBufInvariants(t, h)
+	}
+	if h.Buffers.Top != topBefore {
+		t.Fatal("hole-served allocations advanced the bump pointer")
+	}
+	// An allocation larger than any hole falls through to bump space.
+	big := h.AllocBuffer(16384)
+	if big == Null || big < topBefore {
+		t.Fatalf("oversized alloc got %#x, want fresh bump space above %#x", uint64(big), uint64(topBefore))
+	}
+	checkBufInvariants(t, h)
+}
+
+// TestBufferReuseBeforeExhaustion frees and reallocates same-sized chunks in
+// a loop sized to overflow buffer space many times over — the allocator must
+// recycle rather than exhaust (the receive path of a long run frees each
+// stream's chunks after consumption).
+func TestBufferReuseBeforeExhaustion(t *testing.T) {
+	h := testHeap() // 1 MiB of buffer space
+	const chunk = 64 << 10
+	rounds := int(h.Buffers.Free()/chunk) * 8
+	for i := 0; i < rounds; i++ {
+		a := h.AllocBuffer(chunk)
+		if a == Null {
+			t.Fatalf("round %d: buffer space exhausted despite frees", i)
+		}
+		// Hold two chunks at once so frees are not pure tail rewinds.
+		b := h.AllocBuffer(chunk)
+		if b == Null {
+			t.Fatalf("round %d: second alloc failed", i)
+		}
+		h.FreeBufferRange(a, chunk)
+		h.FreeBufferRange(b, chunk)
+		checkBufInvariants(t, h)
+	}
+	if hw := h.BufferHighWater(); hw != 2*chunk {
+		t.Errorf("BufferHighWater = %d, want %d (two live chunks at peak)", hw, 2*chunk)
+	}
+}
+
+// TestBufferHighWater pins the high-water semantics: it tracks peak live
+// bytes, not the bump extent, and never decreases on frees.
+func TestBufferHighWater(t *testing.T) {
+	h := testHeap()
+	if h.BufferHighWater() != 0 {
+		t.Fatal("fresh heap has nonzero buffer high-water mark")
+	}
+	a := h.AllocBuffer(8192)
+	b := h.AllocBuffer(4096)
+	if got := h.BufferHighWater(); got != 8192+4096 {
+		t.Fatalf("high water = %d, want %d", got, 8192+4096)
+	}
+	h.FreeBufferRange(b, 4096)
+	h.FreeBufferRange(a, 8192)
+	if got := h.BufferHighWater(); got != 8192+4096 {
+		t.Fatalf("high water dropped to %d after frees", got)
+	}
+	if used := h.BufferUsed(); used != 0 {
+		t.Fatalf("BufferUsed = %d after freeing everything", used)
+	}
+	// Reusing a hole keeps the mark until live bytes exceed the old peak.
+	h.AllocBuffer(4096)
+	if got := h.BufferHighWater(); got != 8192+4096 {
+		t.Fatalf("high water moved to %d on hole reuse below the peak", got)
+	}
+}
+
 func TestFreeBufferOutsideSpacePanics(t *testing.T) {
 	h := testHeap()
 	defer func() {

@@ -61,9 +61,16 @@ func (b Breakdown) Total() time.Duration {
 	return b.Sum()
 }
 
-// Add accumulates other into b.
+// Add accumulates other into b. Stages are barriers, so end-to-end times
+// add: when either side is wall-based, the merged Wall is the sum of both
+// sides' Totals — a sequential stage (Wall zero, elapsed time = component
+// sum) folded into a parallel run contributes its component sum, not zero.
+// (Plain `b.Wall += other.Wall` silently dropped the sequential side's
+// entire elapsed time from Total.)
 func (b *Breakdown) Add(other Breakdown) {
-	b.Wall += other.Wall
+	if b.Wall > 0 || other.Wall > 0 {
+		b.Wall = b.Total() + other.Total()
+	}
 	b.Compute += other.Compute
 	b.Ser += other.Ser
 	b.WriteIO += other.WriteIO

@@ -72,6 +72,47 @@ func TestWallVsSum(t *testing.T) {
 	}
 }
 
+// Regression: folding a sequential breakdown (Wall=0, elapsed = component
+// sum) into a wall-based parallel one must not drop the sequential run's
+// entire time from Total(). Pre-fix, Add merged Wall by plain addition, so
+// parallel(Wall=120ms) + sequential(sum=200ms) totalled 120ms.
+func TestAddMixedSequentialParallel(t *testing.T) {
+	parallel := sample() // sum = 200ms
+	parallel.Wall = 120 * time.Millisecond
+	sequential := sample() // Wall = 0, Total = Sum = 200ms
+
+	acc := parallel
+	acc.Add(sequential)
+	if want := 320 * time.Millisecond; acc.Total() != want {
+		t.Errorf("parallel+sequential Total = %v, want %v (sequential stage dropped)", acc.Total(), want)
+	}
+	if acc.Sum() != 400*time.Millisecond {
+		t.Errorf("components must still sum: %v", acc.Sum())
+	}
+
+	// Symmetric: a sequential accumulator absorbing a parallel stage must
+	// become wall-based rather than discarding the parallel wall.
+	acc = sequential
+	acc.Add(parallel)
+	if want := 320 * time.Millisecond; acc.Total() != want {
+		t.Errorf("sequential+parallel Total = %v, want %v", acc.Total(), want)
+	}
+
+	// Sequential-only accumulation stays component-summed (Wall zero).
+	acc = sequential
+	acc.Add(sequential)
+	if acc.Wall != 0 || acc.Total() != 400*time.Millisecond {
+		t.Errorf("sequential-only Add: wall=%v total=%v", acc.Wall, acc.Total())
+	}
+
+	// A zero Breakdown folded into a parallel one changes nothing.
+	acc = parallel
+	acc.Add(Breakdown{})
+	if acc.Total() != 120*time.Millisecond {
+		t.Errorf("parallel+zero Total = %v", acc.Total())
+	}
+}
+
 func TestSDShare(t *testing.T) {
 	b := sample()
 	want := float64(70) / 200

@@ -10,6 +10,16 @@ package netsim
 import (
 	"sync/atomic"
 	"time"
+
+	"skyway/internal/obs"
+)
+
+// Modelled-fabric counters, exported on /metrics.
+var (
+	ctrSpillBytes    = obs.NewCounter("skyway_io_spill_bytes_total", "Bytes spilled to modelled shuffle files.")
+	ctrLocalReadB    = obs.NewCounter("skyway_io_local_read_bytes_total", "Bytes fetched from modelled local disk.")
+	ctrRemoteReadB   = obs.NewCounter("skyway_io_remote_read_bytes_total", "Bytes fetched across the modelled network.")
+	ctrRemoteFetches = obs.NewCounter("skyway_io_remote_fetches_total", "Remote shuffle fetches (per-transfer latency units).")
 )
 
 // CostModel holds sustained bandwidths in bytes/second plus fixed per-
@@ -23,6 +33,19 @@ type CostModel struct {
 	DiskReadBandwidth  float64
 	// NetLatency is added once per remote fetch.
 	NetLatency time.Duration
+	// Trace, when set, receives one modelled-I/O span per public cost query.
+	// The span's duration is the modelled time, anchored at the query (the
+	// fabric charges time without occupying wall-clock).
+	Trace *obs.Tracer
+}
+
+// emit records one modelled-I/O span; cost math below goes through the
+// private helpers so a composite query like FetchTime emits exactly once.
+func (m CostModel) emit(name string, bytes int64, d time.Duration) {
+	if m.Trace == nil || d <= 0 || !obs.Enabled() {
+		return
+	}
+	m.Trace.Emit("io", name, time.Now(), d, obs.I64("bytes", bytes))
 }
 
 // Paper1GbE is the evaluation cluster's fabric: 1000 Mb/s Ethernet and one
@@ -60,25 +83,43 @@ func cost(bytes int64, bw float64) time.Duration {
 	return time.Duration(float64(bytes) / bw * float64(time.Second))
 }
 
-// NetTime returns the wire time for one remote transfer of n bytes.
-func (m CostModel) NetTime(n int64) time.Duration {
+func (m CostModel) netTime(n int64) time.Duration {
 	if n <= 0 {
 		return 0
 	}
 	return m.NetLatency + cost(n, m.NetBandwidth)
 }
 
+func (m CostModel) readTime(n int64) time.Duration { return cost(n, m.DiskReadBandwidth) }
+
+// NetTime returns the wire time for one remote transfer of n bytes.
+func (m CostModel) NetTime(n int64) time.Duration {
+	d := m.netTime(n)
+	m.emit("net.transfer", n, d)
+	return d
+}
+
 // WriteTime returns the disk time to spill n bytes of shuffle output.
-func (m CostModel) WriteTime(n int64) time.Duration { return cost(n, m.DiskWriteBandwidth) }
+func (m CostModel) WriteTime(n int64) time.Duration {
+	d := cost(n, m.DiskWriteBandwidth)
+	m.emit("disk.write", n, d)
+	return d
+}
 
 // ReadTime returns the disk time to read n bytes of local shuffle data.
-func (m CostModel) ReadTime(n int64) time.Duration { return cost(n, m.DiskReadBandwidth) }
+func (m CostModel) ReadTime(n int64) time.Duration {
+	d := m.readTime(n)
+	m.emit("disk.read", n, d)
+	return d
+}
 
 // FetchTime returns the read-side cost of a shuffle fetch: local bytes come
 // off disk, remote bytes additionally cross the network (the paper folds
 // network cost into read I/O, §2.2).
 func (m CostModel) FetchTime(localBytes, remoteBytes int64) time.Duration {
-	return m.ReadTime(localBytes) + m.ReadTime(remoteBytes) + m.NetTime(remoteBytes)
+	d := m.readTime(localBytes) + m.readTime(remoteBytes) + m.netTime(remoteBytes)
+	m.emit("shuffle.fetch", localBytes+remoteBytes, d)
+	return d
 }
 
 // Traffic accumulates the fabric's byte accounting for one simulated
@@ -96,6 +137,7 @@ type Traffic struct {
 func (t *Traffic) AddWrite(n int64) {
 	if n > 0 {
 		atomic.AddInt64(&t.written, n)
+		ctrSpillBytes.Add(n)
 	}
 }
 
@@ -105,10 +147,13 @@ func (t *Traffic) AddWrite(n int64) {
 func (t *Traffic) AddFetch(local, remote int64) {
 	if local > 0 {
 		atomic.AddInt64(&t.localRead, local)
+		ctrLocalReadB.Add(local)
 	}
 	if remote > 0 {
 		atomic.AddInt64(&t.remoteRead, remote)
 		atomic.AddInt64(&t.remoteXfers, 1)
+		ctrRemoteReadB.Add(remote)
+		ctrRemoteFetches.Inc()
 	}
 }
 

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing process-wide metric. Counters are
+// always live (one atomic add per bump, no gating), so /metrics reflects
+// every run in the process whether or not span tracing was on.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Gauge is a sampled metric backed by a callback, evaluated at export time.
+type gauge struct {
+	name, help string
+	fn         func() float64
+}
+
+var (
+	metricsMu sync.Mutex
+	counters  []*Counter
+	byMetric  = map[string]*Counter{}
+	gauges    []gauge
+	gaugeSet  = map[string]bool{}
+)
+
+// NewCounter returns the counter named name (Prometheus conventions:
+// snake_case with a _total suffix), creating and registering it on first
+// use. Deduplicated by name so package-level counters can be declared in
+// var blocks across packages without coordination.
+func NewCounter(name, help string) *Counter {
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	if c, ok := byMetric[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	byMetric[name] = c
+	counters = append(counters, c)
+	return c
+}
+
+// Add increases the counter by n (negative n is ignored; counters are
+// monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// RegisterGauge registers a callback-backed gauge. Re-registering a name
+// replaces the callback (daemon restarts of a subsystem keep one series).
+func RegisterGauge(name, help string, fn func() float64) {
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	if gaugeSet[name] {
+		for i := range gauges {
+			if gauges[i].name == name {
+				gauges[i].fn = fn
+			}
+		}
+		return
+	}
+	gaugeSet[name] = true
+	gauges = append(gauges, gauge{name: name, help: help, fn: fn})
+}
+
+// WriteMetrics renders every registered counter and gauge in the Prometheus
+// text exposition format (version 0.0.4), the format cmd/skywayd serves on
+// /metrics.
+func WriteMetrics(w io.Writer) error {
+	metricsMu.Lock()
+	cs := make([]*Counter, len(counters))
+	copy(cs, counters)
+	gs := make([]gauge, len(gauges))
+	copy(gs, gauges)
+	metricsMu.Unlock()
+
+	sort.Slice(cs, func(i, j int) bool { return cs[i].name < cs[j].name })
+	sort.Slice(gs, func(i, j int) bool { return gs[i].name < gs[j].name })
+
+	for _, c := range cs {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			c.name, c.help, c.name, c.name, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gs {
+		v := strconv.FormatFloat(g.fn(), 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			g.name, g.help, g.name, g.name, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// traceEvent is one Chrome-trace-format event ("X" = complete span, "M" =
+// metadata). Timestamps and durations are microseconds, as the format
+// requires.
+type traceEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat,omitempty"`
+	Ph   string           `json:"ph"`
+	TS   float64          `json:"ts"`
+	Dur  float64          `json:"dur,omitempty"`
+	PID  int              `json:"pid"`
+	TID  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+type metaEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+// WriteTrace dumps every tracer's recorded spans as Chrome trace JSON
+// ({"traceEvents": [...]}), one thread row per tracer, viewable in
+// chrome://tracing or Perfetto.
+func WriteTrace(w io.Writer) error {
+	events := make([]any, 0, 256)
+	events = append(events, metaEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 0,
+		Args: map[string]string{"name": "skyway"},
+	})
+	for tid, t := range allTracers() {
+		events = append(events, metaEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid + 1,
+			Args: map[string]string{"name": t.name},
+		})
+		t.eachSpan(func(s *span) {
+			var args map[string]int64
+			if len(s.args) > 0 {
+				args = make(map[string]int64, len(s.args))
+				for _, a := range s.args {
+					args[a.Key] = a.Val
+				}
+			}
+			events = append(events, traceEvent{
+				Name: s.name, Cat: s.cat, Ph: "X",
+				TS:  float64(s.start.Sub(epoch).Nanoseconds()) / 1e3,
+				Dur: float64(s.dur.Nanoseconds()) / 1e3,
+				PID: 1, TID: tid + 1, Args: args,
+			})
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// WriteTraceFile writes the Chrome trace to path.
+func WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// DumpIfEnabled writes the trace to the SKYWAY_TRACE file when the
+// variable is set — the exit hook every cmd/ binary runs.
+func DumpIfEnabled() {
+	path := TracePath()
+	if path == "" {
+		return
+	}
+	if err := WriteTraceFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "obs: writing SKYWAY_TRACE file: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "obs: trace written to %s (open in chrome://tracing)\n", path)
+}

@@ -12,6 +12,16 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"skyway/internal/obs"
+)
+
+// Registry counters, exported on /metrics (skywayd's primary gauges).
+var (
+	ctrRegistrations  = obs.NewCounter("skyway_registry_registrations_total", "Fresh type IDs assigned by driver registries.")
+	ctrLookups        = obs.NewCounter("skyway_registry_lookups_total", "LOOKUP requests served (hit or assign).")
+	ctrRemoteLookups  = obs.NewCounter("skyway_registry_view_misses_total", "Worker-view misses that issued a remote LOOKUP.")
+	ctrRemoteReverses = obs.NewCounter("skyway_registry_view_reverses_total", "Worker-view misses that issued a remote REVERSE.")
 )
 
 // Registry is the driver-side complete type registry.
@@ -45,12 +55,14 @@ func (r *Registry) LookupOrAssign(name string) int32 {
 }
 
 func (r *Registry) lookupOrAssignLocked(name string) int32 {
+	ctrLookups.Inc()
 	if id, ok := r.ids[name]; ok {
 		return id
 	}
 	id := int32(len(r.names))
 	r.ids[name] = id
 	r.names = append(r.names, name)
+	ctrRegistrations.Inc()
 	return id
 }
 
@@ -176,6 +188,7 @@ func (v *View) IDFor(name string) (int32, error) {
 	v.names[id] = name
 	v.misses++
 	v.mu.Unlock()
+	ctrRemoteLookups.Inc()
 	return id, nil
 }
 
@@ -196,6 +209,7 @@ func (v *View) NameFor(id int32) (string, error) {
 	v.ids[n] = id
 	v.reverse++
 	v.mu.Unlock()
+	ctrRemoteReverses.Inc()
 	return n, nil
 }
 

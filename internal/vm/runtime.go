@@ -11,6 +11,7 @@ import (
 	"skyway/internal/gc"
 	"skyway/internal/heap"
 	"skyway/internal/klass"
+	"skyway/internal/obs"
 	"skyway/internal/registry"
 	"skyway/internal/verify"
 )
@@ -26,6 +27,12 @@ type Runtime struct {
 
 	Heap *heap.Heap
 	GC   *gc.Collector
+
+	// Trace is the runtime's observability timeline (one thread row in the
+	// Chrome trace): GC pauses, Skyway transfers, and executor tasks on
+	// this runtime all land here. Always non-nil; spans are no-ops until
+	// tracing is enabled (SKYWAY_TRACE).
+	Trace *obs.Tracer
 
 	cp      *klass.Path
 	klasses []*klass.Klass // indexed by LID
@@ -80,7 +87,9 @@ func NewRuntime(cp *klass.Path, opts Options) (*Runtime, error) {
 		hashState:    0x9E3779B97F4A7C15,
 		fieldUpdates: make(map[string][]FieldUpdate),
 	}
+	rt.Trace = obs.NewTracer(opts.Name)
 	rt.GC = gc.New(rt.Heap, rt)
+	rt.GC.Trace = rt.Trace
 	if opts.Verify || verify.Enabled() {
 		rt.wireVerifier()
 	}
