@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet skywayvet lint-fixtures race race-parallel verify check check-parallel bench-json bench-cmp
+.PHONY: build test vet skywayvet lint-fixtures race race-parallel verify chaos fuzz-smoke check check-parallel bench-json bench-cmp
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,21 @@ race-parallel:
 # Full test suite with the heap/buffer invariant verifier enabled.
 verify:
 	SKYWAY_VERIFY=1 $(GO) test ./...
+
+# Chaos suite under the race detector: the failpoint matrix
+# (internal/fault), the shuffle degradation-ladder tests, and the registry
+# replay/drop/delay tests, with the heap invariant verifier armed.
+chaos:
+	SKYWAY_VERIFY=1 $(GO) test -race -run 'Chaos|Fault|Torn|TaskDie|FetchSlow|Exchange|Dial' \
+		./internal/fault/ ./internal/dataflow/ ./internal/registry/ ./internal/core/
+
+# Native fuzzing, smoke duration per target (override FUZZTIME for a soak).
+FUZZTIME ?= 30s
+
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReaderDecode -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzTupleCodec -fuzztime $(FUZZTIME) ./internal/batch/
+	$(GO) test -run '^$$' -fuzz FuzzBaddrRoundTrip -fuzztime $(FUZZTIME) ./internal/heap/
 
 # Benchmark trajectory: regenerate BENCH_spark.json / BENCH_flink.json at the
 # canonical smoke scale. Override BENCH_SCALE / BENCH_SF for bigger runs and

@@ -1,0 +1,98 @@
+package batch
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+	"skyway/internal/registry"
+	"skyway/internal/vm"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden wire vectors")
+
+// TestGoldenTupleWire pins the schema-ordered tuple encoding (§5.3): fixed
+// field widths in schema order, strings as u32 length + UTF-16 code units,
+// nulls as 0xFFFFFFFF. The checked-in bytes must decode byte for byte.
+func TestGoldenTupleWire(t *testing.T) {
+	cp := klass.NewPath()
+	TPCHClasses(cp)
+	reg := registry.NewRegistry()
+	snd, err := vm.NewRuntime(cp, vm.Options{Name: "golden-snd", Registry: registry.InProc{R: reg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := vm.NewRuntime(cp, vm.Options{Name: "golden-rcv", Registry: registry.InProc{R: reg}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck := snd.MustLoad(CustomerClass)
+	row := snd.Pin(snd.MustNew(ck))
+	defer row.Release()
+	snd.SetInt(row.Addr(), ck.FieldByName("custkey"), 42)
+	snd.SetInt(row.Addr(), ck.FieldByName("nationkey"), 7)
+	name := snd.Pin(snd.MustNewString("Customer#000000042"))
+	defer name.Release()
+	snd.SetRef(row.Addr(), ck.FieldByName("name"), name.Addr())
+	snd.SetRef(row.Addr(), ck.FieldByName("mktsegment"), heap.Null)
+	snd.SetDouble(row.Addr(), ck.FieldByName("acctbal"), 711.56)
+
+	codec := NewTupleCodec(CustomerClass, nil)
+	var buf bytes.Buffer
+	enc := codec.NewEncoder(snd, &buf)
+	for i := 0; i < 2; i++ {
+		if err := enc.Write(row.Addr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "golden", "tuple-customer.bin")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("tuple encoding drifted from golden vector (%d bytes, golden %d)", buf.Len(), len(want))
+	}
+
+	dec := codec.NewDecoder(rcv, bytes.NewReader(want))
+	rk := rcv.MustLoad(CustomerClass)
+	for i := 0; i < 2; i++ {
+		got, err := dec.Read()
+		if err != nil {
+			t.Fatalf("decoding golden row %d: %v", i, err)
+		}
+		if rcv.GetInt(got, rk.FieldByName("custkey")) != 42 {
+			t.Fatalf("row %d custkey = %d", i, rcv.GetInt(got, rk.FieldByName("custkey")))
+		}
+		if s := rcv.GoString(rcv.GetRef(got, rk.FieldByName("name"))); s != "Customer#000000042" {
+			t.Fatalf("row %d name = %q", i, s)
+		}
+		if rcv.GetRef(got, rk.FieldByName("mktsegment")) != heap.Null {
+			t.Fatalf("row %d null string materialized", i)
+		}
+		if v := rcv.GetDouble(got, rk.FieldByName("acctbal")); v != 711.56 {
+			t.Fatalf("row %d acctbal = %v", i, v)
+		}
+	}
+	if _, err := dec.Read(); err != io.EOF {
+		t.Fatalf("after golden rows: %v, want EOF", err)
+	}
+}

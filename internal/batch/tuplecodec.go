@@ -53,6 +53,13 @@ func (c *TupleCodec) NewDecoder(rt *vm.Runtime, r io.Reader) serial.Decoder {
 
 const nullString = uint32(0xFFFFFFFF)
 
+// maxStringUnits caps the decoded length of a single string field. The wire
+// format carries no type information, so a corrupt or adversarial stream can
+// place any u32 where a length belongs; without a cap the decoder would try
+// to allocate (and Discard) gigabytes before any later check fires. 16M
+// UTF-16 code units (32 MiB payload) is far beyond any real tuple field.
+const maxStringUnits = 1 << 24
+
 type tupleEncoder struct {
 	c  *TupleCodec
 	rt *vm.Runtime
@@ -170,6 +177,9 @@ func (d *tupleDecoder) Read() (heap.Addr, error) {
 			n := binary.BigEndian.Uint32(scratch[:4])
 			if n == nullString {
 				continue
+			}
+			if n > maxStringUnits {
+				return heap.Null, fmt.Errorf("batch: tuple field %s.%s: string length %d exceeds the %d-unit cap (corrupt stream?)", d.k.Name, f.Name, n, maxStringUnits)
 			}
 			if !wanted {
 				// Lazy: skip the payload without building objects.

@@ -2,7 +2,6 @@ package core
 
 import (
 	"encoding/binary"
-	"fmt"
 
 	"skyway/internal/heap"
 	"skyway/internal/klass"
@@ -95,7 +94,7 @@ func (rd *Reader) decodeCompactSegment(phys []byte, base heap.Addr, decoded uint
 	readUvarint := func() (uint64, error) {
 		v, n := binary.Uvarint(phys[pos:])
 		if n <= 0 {
-			return 0, fmt.Errorf("skyway: compact segment truncated at byte %d", pos)
+			return 0, rd.decodeErrf(DecodeLength, uint64(pos), "compact segment truncated (uvarint)")
 		}
 		pos += n
 		return v, nil
@@ -103,7 +102,7 @@ func (rd *Reader) decodeCompactSegment(phys []byte, base heap.Addr, decoded uint
 
 	for pos < len(phys) {
 		if a >= end {
-			return fmt.Errorf("skyway: compact segment inflates past its declared size")
+			return rd.decodeErrf(DecodeLength, uint64(pos), "compact segment inflates past its declared size")
 		}
 		tid64, err := readUvarint()
 		if err != nil {
@@ -111,10 +110,10 @@ func (rd *Reader) decodeCompactSegment(phys []byte, base heap.Addr, decoded uint
 		}
 		k, err := rt.KlassByTID(int32(uint32(tid64)))
 		if err != nil {
-			return err
+			return rd.decodeWrap(DecodeType, uint64(pos), err)
 		}
 		if pos >= len(phys) {
-			return fmt.Errorf("skyway: compact segment truncated (flags)")
+			return rd.decodeErrf(DecodeLength, uint64(pos), "compact segment truncated (flags)")
 		}
 		flags := phys[pos]
 		pos++
@@ -122,14 +121,14 @@ func (rd *Reader) decodeCompactSegment(phys []byte, base heap.Addr, decoded uint
 		hashed := flags&compactFlagHashed != 0
 		if hashed {
 			if pos+4 > len(phys) {
-				return fmt.Errorf("skyway: compact segment truncated (hash)")
+				return rd.decodeErrf(DecodeLength, uint64(pos), "compact segment truncated (hash)")
 			}
 			hash = binary.LittleEndian.Uint32(phys[pos:])
 			pos += 4
 		}
 		isArray := flags&compactFlagArray != 0
 		if isArray != k.IsArray {
-			return fmt.Errorf("skyway: compact record array flag disagrees with class %s", k.Name)
+			return rd.decodeErrf(DecodeType, uint64(pos), "compact record array flag disagrees with class %s", k.Name)
 		}
 
 		size := k.Size
@@ -141,17 +140,17 @@ func (rd *Reader) decodeCompactSegment(phys []byte, base heap.Addr, decoded uint
 				return err
 			}
 			if arrayLen > uint64(decoded) {
-				return fmt.Errorf("skyway: compact record array length %d implausible", arrayLen)
+				return rd.decodeErrf(DecodeLength, uint64(pos), "compact record array length %d implausible", arrayLen)
 			}
 			size = k.InstanceBytes(int(arrayLen))
 			payloadOff = layout.ArrayHeaderSize()
 		}
 		if uint64(a)+uint64(size) > uint64(end) {
-			return fmt.Errorf("skyway: compact record overruns its chunk")
+			return rd.decodeErrf(DecodeLength, uint64(pos), "compact record overruns its chunk")
 		}
 		payload := size - payloadOff
 		if pos+int(payload) > len(phys) {
-			return fmt.Errorf("skyway: compact segment truncated (payload)")
+			return rd.decodeErrf(DecodeLength, uint64(pos), "compact segment truncated (payload)")
 		}
 
 		// Re-inflate the standard image.
@@ -170,7 +169,7 @@ func (rd *Reader) decodeCompactSegment(phys []byte, base heap.Addr, decoded uint
 		a += heap.Addr(size)
 	}
 	if a != end {
-		return fmt.Errorf("skyway: compact segment inflated to %d bytes, expected %d", uint64(a-base), decoded)
+		return rd.decodeErrf(DecodeLength, uint64(pos), "compact segment inflated to %d bytes, expected %d", uint64(a-base), decoded)
 	}
 	return nil
 }

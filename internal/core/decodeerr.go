@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DecodeKind classifies what a received stream got wrong.
+type DecodeKind string
+
+// Decode error kinds, one per validation layer of the receive path.
+const (
+	// DecodeFrame: the stream-level framing is broken — bad magic, an
+	// unsupported version, an unknown frame tag, or a stream that ends
+	// mid-frame.
+	DecodeFrame DecodeKind = "frame"
+	// DecodeChecksum: a segment's payload does not match its CRC-32C — the
+	// bytes were damaged in flight.
+	DecodeChecksum DecodeKind = "checksum"
+	// DecodeLength: a declared length is impossible — zero, unaligned,
+	// implausibly large, or inconsistent with the data that follows.
+	DecodeLength DecodeKind = "length"
+	// DecodeType: an object's global type ID does not resolve to a class,
+	// or its shape disagrees with the resolved class.
+	DecodeType DecodeKind = "type"
+	// DecodePointer: a relative pointer falls outside the received stream
+	// space, or a top mark names data that never arrived.
+	DecodePointer DecodeKind = "pointer"
+	// DecodeResource: the receiver could not stage the stream — input-buffer
+	// space exhausted. Retrying after freeing buffers may succeed; the other
+	// kinds are permanent properties of the bytes.
+	DecodeResource DecodeKind = "resource"
+)
+
+// DecodeError is the structured error every malformed or damaged Skyway
+// stream surfaces as. The receive path validates each segment before any of
+// it is absolutized into the heap, so a DecodeError guarantees the heap was
+// left exactly as it was — degraded, never corrupted. Consumers branch on
+// Kind (dataflow retries torn transfers, gives up on resource exhaustion)
+// and errors.As/Is work through it.
+type DecodeError struct {
+	Kind   DecodeKind
+	Stream uint16 // stream ID from the header; 0 when the header never parsed
+	Offset uint64 // relative stream offset or byte position, when known
+	Detail string
+	Err    error // wrapped cause, when any
+}
+
+func (e *DecodeError) Error() string {
+	msg := fmt.Sprintf("skyway: decode [%s]", e.Kind)
+	if e.Stream != 0 {
+		msg += fmt.Sprintf(" stream %d", e.Stream)
+	}
+	if e.Offset != 0 {
+		msg += fmt.Sprintf(" at %#x", e.Offset)
+	}
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// AsDecodeError unwraps err to a *DecodeError, if it is one.
+func AsDecodeError(err error) (*DecodeError, bool) {
+	var de *DecodeError
+	ok := errors.As(err, &de)
+	return de, ok
+}
+
+// decodeErrf builds a DecodeError bound to this reader's stream.
+func (rd *Reader) decodeErrf(kind DecodeKind, offset uint64, format string, args ...any) *DecodeError {
+	return &DecodeError{Kind: kind, Stream: rd.streamID, Offset: offset, Detail: fmt.Sprintf(format, args...)}
+}
+
+// decodeWrap wraps a cause (an unexpected EOF, a class-load failure) as a
+// DecodeError bound to this reader's stream.
+func (rd *Reader) decodeWrap(kind DecodeKind, offset uint64, err error) *DecodeError {
+	return &DecodeError{Kind: kind, Stream: rd.streamID, Offset: offset, Err: err}
+}

@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 	"time"
 
+	"skyway/internal/fault"
 	"skyway/internal/gc"
 	"skyway/internal/heap"
 	"skyway/internal/klass"
@@ -18,10 +20,11 @@ import (
 
 // Receiver-side transfer counters, exported on /metrics.
 var (
-	ctrObjectsRecv = obs.NewCounter("skyway_transfer_objects_received_total", "Objects absolutized out of received Skyway chunks.")
-	ctrBytesRecv   = obs.NewCounter("skyway_transfer_bytes_received_total", "Bytes received into pinned input-buffer chunks.")
-	ctrChunks      = obs.NewCounter("skyway_transfer_chunks_total", "Input-buffer chunks allocated for incoming segments.")
-	ctrRecvStreams = obs.NewCounter("skyway_transfer_recv_streams_total", "Skyway receiver streams drained to end-of-stream.")
+	ctrObjectsRecv  = obs.NewCounter("skyway_transfer_objects_received_total", "Objects absolutized out of received Skyway chunks.")
+	ctrBytesRecv    = obs.NewCounter("skyway_transfer_bytes_received_total", "Bytes received into pinned input-buffer chunks.")
+	ctrChunks       = obs.NewCounter("skyway_transfer_chunks_total", "Input-buffer chunks allocated for incoming segments.")
+	ctrRecvStreams  = obs.NewCounter("skyway_transfer_recv_streams_total", "Skyway receiver streams drained to end-of-stream.")
+	ctrDecodeErrors = obs.NewCounter("skyway_transfer_decode_errors_total", "Streams rejected by receive-path validation (DecodeError).")
 )
 
 // Reader receives a Skyway stream into the runtime's heap: each incoming
@@ -31,13 +34,21 @@ var (
 // become heap addresses — after which the objects are immediately usable
 // (§4.3). Chunks are registered with the collector as pinned, immortal
 // ranges until Free is called.
+//
+// The reader trusts nothing about the bytes: segments are checksummed (wire
+// v2) and every structural property — frame shape, declared lengths, type
+// IDs, relative pointers — is validated before any of the chunk is
+// absolutized into live heap state. A malformed stream surfaces as a
+// *DecodeError and leaves the heap untouched beyond pinned (and freeable)
+// raw chunks; it can never panic the receiver or plant a dangling pointer.
 type Reader struct {
 	rt *vm.Runtime
 	r  *bufio.Reader
 
-	headerRead bool
-	streamID   uint16
-	compact    bool
+	headerRead  bool
+	streamID    uint16
+	compact     bool
+	checksummed bool // wire v2: per-segment CRC-32C
 
 	chunks []chunk // ascending startRel; the relative→absolute table
 	parsed int     // chunks[:parsed] are absolutized
@@ -92,24 +103,36 @@ func NewReader(rt *vm.Runtime, r io.Reader) *Reader {
 
 // ReadObject returns the next transferred root object. It consumes frames
 // until a top mark arrives, absolutizing newly received chunks. io.EOF is
-// returned at end of stream.
+// returned at end of stream; any malformed input surfaces as a *DecodeError.
 func (rd *Reader) ReadObject() (heap.Addr, error) {
+	a, err := rd.readObject()
+	if err != nil && err != io.EOF {
+		if _, ok := AsDecodeError(err); ok {
+			ctrDecodeErrors.Inc()
+		}
+	}
+	return a, err
+}
+
+func (rd *Reader) readObject() (heap.Addr, error) {
 	if !rd.headerRead {
-		target, sid, compact, err := readHeader(rd.r)
+		target, sid, compact, checksummed, err := readHeader(rd.r)
 		if err != nil {
 			return heap.Null, err
 		}
 		if target != rd.rt.Heap.Layout() {
-			return heap.Null, fmt.Errorf("skyway: stream was adjusted for layout %+v but receiver heap uses %+v", target, rd.rt.Heap.Layout())
+			return heap.Null, &DecodeError{Kind: DecodeFrame, Stream: sid,
+				Detail: fmt.Sprintf("stream was adjusted for layout %+v but receiver heap uses %+v", target, rd.rt.Heap.Layout())}
 		}
 		rd.streamID = sid
 		rd.compact = compact
+		rd.checksummed = checksummed
 		rd.headerRead = true
 	}
 	for {
 		tag, err := rd.r.ReadByte()
 		if err != nil {
-			return heap.Null, fmt.Errorf("skyway: reading frame: %w", err)
+			return heap.Null, rd.decodeWrap(DecodeFrame, 0, noEOF(err))
 		}
 		switch tag {
 		case frameSegment:
@@ -123,12 +146,18 @@ func (rd *Reader) ReadObject() (heap.Addr, error) {
 		case frameTop:
 			var b [8]byte
 			if _, err := io.ReadFull(rd.r, b[:]); err != nil {
-				return heap.Null, err
+				return heap.Null, rd.decodeWrap(DecodeFrame, 0, noEOF(err))
 			}
 			if err := rd.absolutize(); err != nil {
 				return heap.Null, err
 			}
 			rel := binary.BigEndian.Uint64(b[:])
+			// Chunks may legitimately remain unabsolutized here: with
+			// shared-chain concurrent senders a root can reference claimed
+			// objects whose bytes arrive in a later segment, the §4.3
+			// "block the computation on buffers into which data is being
+			// streamed" case. The frameEnd check below catches references
+			// that never resolve.
 			if rd.verify {
 				if err := rd.verifyTop(rel); err != nil {
 					return heap.Null, err
@@ -139,6 +168,16 @@ func (rd *Reader) ReadObject() (heap.Addr, error) {
 			}
 			return rd.translate(rel)
 		case frameEnd:
+			// §4.3 framing invariant at its sound enforcement point: a
+			// forward reference may defer absolutization mid-stream (data
+			// still in flight), but a stream that ENDS with deferred chunks
+			// holds references that will never resolve — corruption, not
+			// streaming.
+			if rd.parsed < len(rd.chunks) {
+				return heap.Null, rd.decodeErrf(DecodePointer, rd.received(),
+					"stream ended with %d chunk(s) not absolutized (unresolved forward reference)",
+					len(rd.chunks)-rd.parsed)
+			}
 			if !rd.eofSeen {
 				rd.eofSeen = true
 				ctrRecvStreams.Inc()
@@ -152,7 +191,7 @@ func (rd *Reader) ReadObject() (heap.Addr, error) {
 			}
 			return heap.Null, io.EOF
 		default:
-			return heap.Null, fmt.Errorf("skyway: unknown frame tag %#x", tag)
+			return heap.Null, rd.decodeErrf(DecodeFrame, 0, "unknown frame tag %#x", tag)
 		}
 	}
 }
@@ -172,24 +211,88 @@ func (rd *Reader) ReadAll() ([]heap.Addr, error) {
 	}
 }
 
+// stageChunk validates the staged segment bytes and registers them as a new
+// pinned input-buffer chunk of `size` bytes at the next relative address.
+// tmp holds the standard-mode payload (nil for compact segments, which
+// inflate directly into the chunk).
+func (rd *Reader) stageChunk(size uint32) (heap.Addr, error) {
+	var base heap.Addr
+	// Failpoint: a receiver under memory pressure loses the allocation race
+	// at exactly this safepoint.
+	if !fault.Eval(fault.CoreAllocBuffer) {
+		base = rd.rt.Heap.AllocBuffer(size)
+	}
+	if base == heap.Null {
+		return heap.Null, rd.decodeErrf(DecodeResource, uint64(size),
+			"input-buffer space exhausted allocating %d-byte chunk (free unused buffers or enlarge Config.BufferSize)", size)
+	}
+	return base, nil
+}
+
+// checkSegment verifies the segment payload against its wire CRC (v2
+// streams) after applying any injected wire damage. Runs before a single
+// byte reaches the heap.
+func (rd *Reader) checkSegment(payload []byte, wireCRC uint32) error {
+	// Failpoints: damage in flight — a flipped bit, a torn (zero-filled)
+	// tail. Injected before the checksum gate, which must catch both.
+	if fault.Eval(fault.CoreChunkBitflip) && len(payload) > 0 {
+		payload[len(payload)/2] ^= 0x10
+	}
+	if fault.Eval(fault.CoreChunkTruncate) && len(payload) >= 2 {
+		for i := len(payload) / 2; i < len(payload); i++ {
+			payload[i] = 0
+		}
+	}
+	if !rd.checksummed {
+		return nil
+	}
+	if got := crc32.Checksum(payload, crcTable); got != wireCRC {
+		return rd.decodeErrf(DecodeChecksum, 0, "segment CRC %#x does not match wire CRC %#x over %d bytes", got, wireCRC, len(payload))
+	}
+	return nil
+}
+
+// corruptStaged applies the post-checksum type-ID failpoint: corruption
+// that a valid CRC cannot rule out (a buggy sender, receiver-side memory
+// damage). It stomps the first object's klass word, exercising the
+// absolutization-time class validation. The matching pointer failpoint
+// lives in absolutize, where a real reference slot is known.
+func corruptStaged(tmp []byte) {
+	if fault.Eval(fault.CoreChunkBadTID) && len(tmp) >= int(klass.OffKlass)+8 {
+		binary.LittleEndian.PutUint64(tmp[klass.OffKlass:], 0x7FFFFFF0)
+	}
+}
+
 // readSegment allocates an input-buffer chunk and copies the segment into
 // it. The chunk is pinned immediately (unparsed) so the collector treats
 // the raw bytes as opaque.
 func (rd *Reader) readSegment() error {
 	var lenb [4]byte
 	if _, err := io.ReadFull(rd.r, lenb[:]); err != nil {
-		return err
+		return rd.decodeWrap(DecodeFrame, 0, noEOF(err))
 	}
 	n := binary.BigEndian.Uint32(lenb[:])
-	if n == 0 || n%klass.WordSize != 0 {
-		return fmt.Errorf("skyway: bad segment length %d", n)
+	if n == 0 || n%klass.WordSize != 0 || n > maxSegmentBytes {
+		return rd.decodeErrf(DecodeLength, uint64(n), "bad segment length %d", n)
 	}
-	base := rd.rt.Heap.AllocBuffer(n)
-	if base == heap.Null {
-		return fmt.Errorf("skyway: input-buffer space exhausted allocating %d-byte chunk (free unused buffers or enlarge Config.BufferSize)", n)
+	var wireCRC uint32
+	if rd.checksummed {
+		var crcb [4]byte
+		if _, err := io.ReadFull(rd.r, crcb[:]); err != nil {
+			return rd.decodeWrap(DecodeFrame, 0, noEOF(err))
+		}
+		wireCRC = binary.BigEndian.Uint32(crcb[:])
 	}
 	tmp := make([]byte, n)
 	if _, err := io.ReadFull(rd.r, tmp); err != nil {
+		return rd.decodeWrap(DecodeFrame, 0, noEOF(err))
+	}
+	if err := rd.checkSegment(tmp, wireCRC); err != nil {
+		return err
+	}
+	corruptStaged(tmp)
+	base, err := rd.stageChunk(n)
+	if err != nil {
 		return err
 	}
 	rd.rt.Heap.CopyIn(base, n, tmp)
@@ -214,19 +317,31 @@ func (rd *Reader) readSegment() error {
 func (rd *Reader) readCompactSegment() error {
 	var hdr [8]byte
 	if _, err := io.ReadFull(rd.r, hdr[:]); err != nil {
-		return err
+		return rd.decodeWrap(DecodeFrame, 0, noEOF(err))
 	}
 	phys := binary.BigEndian.Uint32(hdr[:4])
 	decoded := binary.BigEndian.Uint32(hdr[4:])
-	if decoded == 0 || decoded%klass.WordSize != 0 || phys == 0 {
-		return fmt.Errorf("skyway: bad compact segment lengths %d/%d", phys, decoded)
+	if decoded == 0 || decoded%klass.WordSize != 0 || phys == 0 ||
+		decoded > maxSegmentBytes || phys > maxSegmentBytes {
+		return rd.decodeErrf(DecodeLength, uint64(decoded), "bad compact segment lengths %d/%d", phys, decoded)
 	}
-	base := rd.rt.Heap.AllocBuffer(decoded)
-	if base == heap.Null {
-		return fmt.Errorf("skyway: input-buffer space exhausted allocating %d-byte chunk (free unused buffers or enlarge Config.BufferSize)", decoded)
+	var wireCRC uint32
+	if rd.checksummed {
+		var crcb [4]byte
+		if _, err := io.ReadFull(rd.r, crcb[:]); err != nil {
+			return rd.decodeWrap(DecodeFrame, 0, noEOF(err))
+		}
+		wireCRC = binary.BigEndian.Uint32(crcb[:])
 	}
 	buf := make([]byte, phys)
 	if _, err := io.ReadFull(rd.r, buf); err != nil {
+		return rd.decodeWrap(DecodeFrame, 0, noEOF(err))
+	}
+	if err := rd.checkSegment(buf, wireCRC); err != nil {
+		return err
+	}
+	base, err := rd.stageChunk(decoded)
+	if err != nil {
 		return err
 	}
 	// Pin before decoding so a decode error cannot leave an unaccounted
@@ -255,7 +370,7 @@ func (rd *Reader) readCompactSegment() error {
 func (rd *Reader) translate(rel uint64) (heap.Addr, error) {
 	i := sort.Search(len(rd.chunks), func(i int) bool { return rd.chunks[i].startRel > rel }) - 1
 	if i < 0 || rel-rd.chunks[i].startRel >= uint64(rd.chunks[i].size) {
-		return heap.Null, fmt.Errorf("skyway: relative address %#x outside received chunks", rel)
+		return heap.Null, rd.decodeErrf(DecodePointer, rel, "relative address outside received chunks")
 	}
 	return rd.chunks[i].base + heap.Addr(rel-rd.chunks[i].startRel), nil
 }
@@ -276,6 +391,11 @@ func (rd *Reader) received() uint64 {
 // sees pointers out of the buffer (§4.3). The scan stops at the first
 // object with a reference into data not yet received (an in-flight graph)
 // and resumes from there on the next call.
+//
+// Validation order is the §4.3 hardening contract: an object's class, its
+// size against its chunk, and every one of its reference slots are checked
+// before the first mutation of the object — absolutization commits per
+// object, never partially.
 func (rd *Reader) absolutize() error {
 	rt := rd.rt
 	h := rt.Heap
@@ -287,13 +407,14 @@ func (rd *Reader) absolutize() error {
 		a := c.base + heap.Addr(c.done)
 		end := c.base + heap.Addr(c.size)
 		for a < end {
+			relOff := c.startRel + uint64(a-c.base)
 			tid := int32(uint32(h.KlassWord(a)))
 			k := rd.lastKlass
 			if k == nil || tid != rd.lastTID {
 				var err error
 				k, err = rt.KlassByTID(tid)
 				if err != nil {
-					return fmt.Errorf("skyway: absolutize at %#x: %w", uint64(a), err)
+					return rd.decodeWrap(DecodeType, relOff, err)
 				}
 				rd.lastTID, rd.lastKlass = tid, k
 			}
@@ -301,12 +422,12 @@ func (rd *Reader) absolutize() error {
 			if k.IsArray {
 				n := h.ArrayLen(a)
 				if n < 0 || uint64(n) > uint64(c.size) {
-					return fmt.Errorf("skyway: corrupt stream: array length %d at %#x", n, uint64(a))
+					return rd.decodeErrf(DecodeLength, relOff, "array length %d of %s exceeds its chunk", n, k.Name)
 				}
 				size = k.InstanceBytes(n)
 			}
 			if uint64(a)+uint64(size) > uint64(end) {
-				return fmt.Errorf("skyway: corrupt stream: object at %#x overruns its chunk", uint64(a))
+				return rd.decodeErrf(DecodeLength, relOff, "%d-byte %s overruns its chunk", size, k.Name)
 			}
 
 			// Collect the object's reference slot offsets.
@@ -329,11 +450,28 @@ func (rd *Reader) absolutize() error {
 				return refBase + uint32(i)*8
 			}
 
-			// First pass: verify every reference is resolvable; a
-			// forward reference beyond the received data defers the
-			// rest of the scan (nothing mutated yet).
+			// Failpoint: stomp a real reference slot with an unaligned,
+			// out-of-space relative pointer — post-checksum corruption the
+			// CRC cannot see, which the bounds check below must reject.
+			if refCount > 0 && fault.Eval(fault.CoreChunkBadPtr) {
+				h.Store(a, slotOff(0), klass.Ref, 0xDEADBEEF)
+			}
+
+			// First pass: verify every reference is well formed and
+			// resolvable. A malformed pointer (below the bias, unaligned,
+			// or outside the 40-bit stream space) is corruption and fails
+			// now; a well-formed forward reference beyond the received data
+			// defers the rest of the scan (nothing mutated yet).
 			for i := 0; i < refCount; i++ {
-				if rel := h.Load(a, slotOff(i), klass.Ref); rel != 0 && rel >= limit {
+				rel := h.Load(a, slotOff(i), klass.Ref)
+				if rel == 0 {
+					continue
+				}
+				if rel < relBias || rel%klass.WordSize != 0 || rel > heap.BaddrRelMask {
+					return rd.decodeErrf(DecodePointer, relOff,
+						"reference slot %d of %s holds malformed relative address %#x", i, k.Name, rel)
+				}
+				if rel >= limit {
 					c.done = uint32(a - c.base)
 					return nil
 				}

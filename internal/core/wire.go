@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"skyway/internal/heap"
@@ -14,7 +15,8 @@ func addr(a uint64) heap.Addr { return heap.Addr(a) }
 // Wire protocol. A stream opens with a fixed header and then carries frames:
 //
 //	header := "SKYW" ver(u8) flags(u8) streamID(u16 BE)
-//	frame  := 'S' len(u32 BE) bytes      -- a flushed output-buffer segment;
+//	frame  := 'S' len(u32 BE) [crc(u32 BE)] bytes
+//	                                     -- a flushed output-buffer segment;
 //	                                        the receiver turns it into one
 //	                                        input-buffer chunk, so objects
 //	                                        never span chunks (§4.3)
@@ -25,12 +27,23 @@ func addr(a uint64) heap.Addr { return heap.Addr(a) }
 //
 // flags bit 0 records whether the object images carry a baddr header word,
 // i.e. the receiver layout the sender adjusted the clones to (§3.1).
+//
+// Versioning: ver 1 frames carry no checksum. Ver 2 (current) adds a
+// CRC-32C of the payload to every 'S' and 'C' frame, between the length
+// words and the bytes, so a torn or bit-flipped transfer is rejected before
+// any of it reaches the heap. Readers accept both; writers emit ver 2.
+// Future format changes bump the version byte — old readers reject unknown
+// versions loudly rather than misparsing (the golden wire-vector tests pin
+// the current encoding byte for byte).
 const (
 	wireMagic   = "SKYW"
-	wireVersion = 1
+	wireVersion = 2
+	// wireVersionNoCRC is the legacy checksum-free format, still accepted
+	// on receive.
+	wireVersionNoCRC = 1
 
 	frameSegment = 'S'
-	frameCompact = 'C' // compact segment: physLen(u32) decodedLen(u32) bytes
+	frameCompact = 'C' // compact segment: physLen(u32) decodedLen(u32) [crc(u32)] bytes
 	frameTop     = 'T'
 	frameEnd     = 'E'
 
@@ -39,8 +52,18 @@ const (
 )
 
 // relBias offsets all relative addresses by one word so that relative
-// address 0 can keep meaning null.
+// address 0 can mean null (§4.2's r_addr bias).
 const relBias = heap.RelBias
+
+// maxSegmentBytes caps a declared segment length. Writers flush far below
+// it (an oversized object gets a dedicated segment sized to the object); a
+// declared length beyond it is corruption, not a big object, and is rejected
+// before the receiver tries to stage it.
+const maxSegmentBytes = 1 << 30
+
+// crcTable is the Castagnoli polynomial table (hardware-accelerated on
+// amd64/arm64), shared by senders and receivers.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 func writeHeader(w io.Writer, target klass.Layout, streamID uint16, compact bool) error {
 	var h [8]byte
@@ -57,17 +80,31 @@ func writeHeader(w io.Writer, target klass.Layout, streamID uint16, compact bool
 	return err
 }
 
-func readHeader(r io.Reader) (target klass.Layout, streamID uint16, compact bool, err error) {
+func readHeader(r io.Reader) (target klass.Layout, streamID uint16, compact, checksummed bool, err error) {
 	var h [8]byte
 	if _, err = io.ReadFull(r, h[:]); err != nil {
-		return target, 0, false, fmt.Errorf("skyway: reading stream header: %w", err)
+		return target, 0, false, false, &DecodeError{Kind: DecodeFrame, Detail: "reading stream header", Err: noEOF(err)}
 	}
 	if string(h[:4]) != wireMagic {
-		return target, 0, false, fmt.Errorf("skyway: bad stream magic %q", h[:4])
+		return target, 0, false, false, &DecodeError{Kind: DecodeFrame, Detail: fmt.Sprintf("bad stream magic %q", h[:4])}
 	}
-	if h[4] != wireVersion {
-		return target, 0, false, fmt.Errorf("skyway: unsupported stream version %d", h[4])
+	switch h[4] {
+	case wireVersion:
+		checksummed = true
+	case wireVersionNoCRC:
+		checksummed = false
+	default:
+		return target, 0, false, false, &DecodeError{Kind: DecodeFrame, Detail: fmt.Sprintf("unsupported stream version %d", h[4])}
 	}
 	target.Baddr = h[5]&flagBaddr != 0
-	return target, binary.BigEndian.Uint16(h[6:]), h[5]&flagCompact != 0, nil
+	return target, binary.BigEndian.Uint16(h[6:]), h[5]&flagCompact != 0, checksummed, nil
+}
+
+// noEOF maps a bare io.EOF to io.ErrUnexpectedEOF: inside a frame, running
+// out of bytes is truncation, not a clean end of stream.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
 }

@@ -3,10 +3,12 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sync/atomic"
 	"time"
 
+	"skyway/internal/fault"
 	"skyway/internal/heap"
 	"skyway/internal/klass"
 	"skyway/internal/obs"
@@ -570,15 +572,23 @@ func putKind(b []byte, k klass.Kind, v uint64) {
 	}
 }
 
-// flushSegment streams the current buffer out as one segment/chunk, then
+// flushSegment streams the current buffer out as one segment/chunk — with
+// its CRC-32C, so the receiver rejects torn or bit-flipped transfers — then
 // emits any queued top marks (whose objects are now fully on the wire).
 func (w *Writer) flushSegment() error {
+	// Failpoint: the transport fails mid-flush (a severed connection, a
+	// full pipe). Surfaces to the caller exactly like a Write error.
+	if err := fault.Inject(fault.CoreWriteFail); err != nil {
+		return err
+	}
 	if len(w.buf) > 0 {
+		crc := crc32.Checksum(w.buf, crcTable)
 		if w.compact {
-			var hdr [9]byte
+			var hdr [13]byte
 			hdr[0] = frameCompact
 			binary.BigEndian.PutUint32(hdr[1:], uint32(len(w.buf)))
 			binary.BigEndian.PutUint32(hdr[5:], w.decodedInBuf)
+			binary.BigEndian.PutUint32(hdr[9:], crc)
 			if _, err := w.w.Write(hdr[:]); err != nil {
 				return err
 			}
@@ -589,9 +599,10 @@ func (w *Writer) flushSegment() error {
 			w.decodedInBuf = 0
 			w.buf = w.buf[:0]
 		} else {
-			var hdr [5]byte
+			var hdr [9]byte
 			hdr[0] = frameSegment
 			binary.BigEndian.PutUint32(hdr[1:], uint32(len(w.buf)))
+			binary.BigEndian.PutUint32(hdr[5:], crc)
 			if _, err := w.w.Write(hdr[:]); err != nil {
 				return err
 			}

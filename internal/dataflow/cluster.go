@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"skyway/internal/fault"
 	"skyway/internal/gc"
 	"skyway/internal/heap"
 	"skyway/internal/klass"
@@ -100,6 +101,11 @@ type Cluster struct {
 	parallelTasks       int
 	concurrentSenders   int
 	peakMu              sync.Mutex
+
+	// excluded tracks map-side peers the reduce degradation ladder gave up
+	// on (see faults.go); guarded by excludedMu.
+	excludedMu sync.Mutex
+	excluded   map[int]bool
 }
 
 // Executor is one worker JVM.
@@ -327,6 +333,19 @@ func (c *Cluster) runPerExecutor(stage string, task func(ex *Executor) (taskResu
 	ctrTasks.Add(int64(len(c.Execs)))
 	stageSpan := c.Driver.Trace.Span("stage", stage)
 	defer stageSpan.End()
+	if fault.Active() {
+		// Failpoint: an executor dies mid-stage. The injected error takes
+		// the normal task-failure path — the stage completes its barrier and
+		// aborts cleanly with the executor named.
+		inner := task
+		task = func(ex *Executor) (taskResult, error) {
+			if err := fault.Inject(fault.DataflowTaskDie); err != nil {
+				ctrStageAborts.Inc()
+				return taskResult{}, fmt.Errorf("executor %d killed: %w", ex.ID, err)
+			}
+			return inner(ex)
+		}
+	}
 	if obs.Enabled() {
 		// Wrap each task in a span on its executor's timeline carrying the
 		// task's breakdown components.

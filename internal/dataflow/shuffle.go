@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"skyway/internal/fault"
 	"skyway/internal/gc"
 	"skyway/internal/heap"
 	"skyway/internal/metrics"
@@ -64,15 +65,21 @@ func (s *blockStore) put(src, dst int, block []byte) {
 	s.mu.Unlock()
 }
 
-// take removes and returns the block, or nil when absent (empty block, or
-// spilled to a real file).
-func (s *blockStore) take(src, dst int) []byte {
+// get returns the block without removing it, or nil when absent (empty
+// block, or spilled to a real file). The block stays in the store until the
+// reducer confirms a successful decode with drop, so a fetch whose copy was
+// damaged in flight can be retried from the intact stored bytes.
+func (s *blockStore) get(src, dst int) []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	k := blockKey{src, dst}
-	b := s.blocks[k]
-	delete(s.blocks, k)
-	return b
+	return s.blocks[blockKey{src, dst}]
+}
+
+// drop releases a block the reducer has fully decoded.
+func (s *blockStore) drop(src, dst int) {
+	s.mu.Lock()
+	delete(s.blocks, blockKey{src, dst})
+	s.mu.Unlock()
 }
 
 // RunShuffle executes one full shuffle phase over the cluster and returns
@@ -247,66 +254,152 @@ func (c *Cluster) mapTask(ex *Executor, spec ShuffleSpec, store *blockStore, p i
 	return res, nil
 }
 
+// decodeBlock decodes one fetched block into pinned records. On failure it
+// releases every handle and input buffer the attempt created — the heap is
+// exactly as it was before the attempt — and returns the decode error, so
+// the caller's bounded re-fetch starts from a clean slate.
+func (c *Cluster) decodeBlock(ex *Executor, block []byte) (hs []*gc.Handle, freer interface{ Free() }, d time.Duration, err error) {
+	start := time.Now()
+	dec := c.Codec.NewDecoder(ex.RT, bytes.NewReader(block))
+	f, _ := dec.(interface{ Free() })
+	for {
+		rec, rerr := dec.Read()
+		if rerr != nil {
+			if isEOF(rerr) {
+				return hs, f, time.Since(start), nil
+			}
+			for _, h := range hs {
+				h.Release()
+			}
+			if f != nil {
+				f.Free()
+			}
+			return nil, nil, time.Since(start), rerr
+		}
+		hs = append(hs, ex.RT.Pin(rec))
+	}
+}
+
 // reduceTask runs one executor's reduce side: it drains every partition it
 // hosts, pulling that partition's block from every map worker, then
 // deserializes and consumes the records.
+//
+// Fetched blocks run the degradation ladder: a block whose decode fails (a
+// torn transfer, a checksum mismatch, any *core.DecodeError) is re-fetched
+// from the intact stored bytes up to maxFetchAttempts times; if every
+// attempt fails, the mapper is excluded and the stage aborts with a
+// StageAbortError. Every exit path releases the handles and input buffers
+// it acquired, so an aborted stage leaves no pins behind.
 func (c *Cluster) reduceTask(ex *Executor, spec ShuffleSpec, store *blockStore, p int) (taskResult, error) {
 	var res taskResult
 	w := c.Workers()
 	var localB, remoteB int64
 	var handles []*gc.Handle
 	var freers []interface{ Free() }
+	fail := func(err error) (taskResult, error) {
+		for _, h := range handles {
+			h.Release()
+		}
+		for _, f := range freers {
+			f.Free()
+		}
+		return res, err
+	}
 
 	var fetchTime time.Duration
+	var slowPenalty time.Duration
 	for dst := 0; dst < p; dst++ {
 		if c.OwnerOf(dst) != ex.ID {
 			continue
 		}
 		for src := 0; src < w; src++ {
-			block := store.take(src, dst)
-			if block == nil && c.SpillDir != "" {
-				// Fetch the real block file (measured read I/O).
-				start := time.Now()
-				var err error
-				block, err = os.ReadFile(c.spillPath(src, dst))
-				if err != nil {
-					if os.IsNotExist(err) {
-						continue
+			// fetch returns a copy-on-damage view of the stored block; the
+			// store (or spill file) keeps the original until drop.
+			fetch := func() ([]byte, error) {
+				block := store.get(src, dst)
+				if block == nil && c.SpillDir != "" {
+					// Fetch the real block file (measured read I/O).
+					start := time.Now()
+					b, err := os.ReadFile(c.spillPath(src, dst))
+					if err != nil {
+						if os.IsNotExist(err) {
+							return nil, nil
+						}
+						return nil, fmt.Errorf("fetch: %w", err)
 					}
-					return res, fmt.Errorf("fetch: %w", err)
+					fetchTime += time.Since(start)
+					block = b
 				}
-				fetchTime += time.Since(start)
-				os.Remove(c.spillPath(src, dst))
+				if len(block) == 0 {
+					return nil, nil
+				}
+				// Failpoint: the fetched copy is torn in flight. Only the
+				// copy is damaged — the stored block stays intact, so a
+				// re-fetch can succeed.
+				if fault.Eval(fault.DataflowFetchTorn) {
+					block = append([]byte(nil), block...)
+					block[len(block)/2] ^= 0xFF
+				}
+				// Failpoint: a slow peer — charge extra modelled read time.
+				if fault.Eval(fault.DataflowFetchSlow) {
+					slowPenalty += fault.DurationArg(fault.DataflowFetchSlow, time.Millisecond)
+				}
+				return block, nil
 			}
-			if len(block) == 0 {
-				continue
-			}
-			if src == ex.ID {
-				localB += int64(len(block))
-			} else {
-				remoteB += int64(len(block))
-			}
-			deserStart := time.Now()
-			dec := c.Codec.NewDecoder(ex.RT, bytes.NewReader(block))
-			for {
-				rec, err := dec.Read()
+
+			var lastErr error
+			decoded := false
+			var blockLen int
+			for attempt := 1; attempt <= maxFetchAttempts; attempt++ {
+				block, err := fetch()
 				if err != nil {
-					if isEOF(err) {
-						break
-					}
-					return res, fmt.Errorf("deserialize: %w", err)
+					return fail(err)
 				}
-				handles = append(handles, ex.RT.Pin(rec))
+				if block == nil {
+					decoded = true // empty block: nothing to do
+					break
+				}
+				blockLen = len(block)
+				hs, freer, d, derr := c.decodeBlock(ex, block)
+				res.bd.Deser += d
+				if derr == nil {
+					handles = append(handles, hs...)
+					if freer != nil {
+						freers = append(freers, freer)
+					}
+					if obs.Enabled() {
+						ex.RT.Trace.Emit("transfer", "shuffle.decode", time.Now().Add(-d), d,
+							obs.I64("bytes", int64(blockLen)),
+							obs.I64("src", int64(src)), obs.I64("dst", int64(dst)),
+							obs.I64("attempt", int64(attempt)))
+					}
+					decoded = true
+					break
+				}
+				lastErr = fmt.Errorf("deserialize block (%d→%d): %w", src, dst, derr)
+				if attempt < maxFetchAttempts {
+					ctrRefetches.Inc()
+				}
 			}
-			deserTime := time.Since(deserStart)
-			res.bd.Deser += deserTime
-			if obs.Enabled() {
-				ex.RT.Trace.Emit("transfer", "shuffle.decode", deserStart, deserTime,
-					obs.I64("bytes", int64(len(block))),
-					obs.I64("src", int64(src)), obs.I64("dst", int64(dst)))
+			if !decoded {
+				// The ladder's last rungs: exclude the peer, abort the stage.
+				c.excludePeer(src)
+				ctrStageAborts.Inc()
+				return fail(&StageAbortError{
+					Stage: "reduce", Src: src, Dst: dst,
+					Attempts: maxFetchAttempts, Err: lastErr,
+				})
 			}
-			if f, ok := dec.(interface{ Free() }); ok {
-				freers = append(freers, f)
+			if blockLen > 0 {
+				store.drop(src, dst)
+				if c.SpillDir != "" {
+					os.Remove(c.spillPath(src, dst))
+				}
+				if src == ex.ID {
+					localB += int64(blockLen)
+				} else {
+					remoteB += int64(blockLen)
+				}
 			}
 		}
 	}
@@ -320,6 +413,7 @@ func (c *Cluster) reduceTask(ex *Executor, spec ShuffleSpec, store *blockStore, 
 		// simulated cluster shares one machine).
 		res.bd.ReadIO = fetchTime + c.Model.NetTime(remoteB)
 	}
+	res.bd.ReadIO += slowPenalty
 
 	start := time.Now()
 	recs := make([]heap.Addr, len(handles))
@@ -328,7 +422,7 @@ func (c *Cluster) reduceTask(ex *Executor, spec ShuffleSpec, store *blockStore, 
 	}
 	if spec.Consume != nil {
 		if err := spec.Consume(ex, recs); err != nil {
-			return res, fmt.Errorf("consume: %w", err)
+			return fail(fmt.Errorf("consume: %w", err))
 		}
 	}
 	res.bd.Compute = time.Since(start)

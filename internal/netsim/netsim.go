@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"skyway/internal/fault"
 	"skyway/internal/obs"
 )
 
@@ -118,6 +119,11 @@ func (m CostModel) ReadTime(n int64) time.Duration {
 // network cost into read I/O, §2.2).
 func (m CostModel) FetchTime(localBytes, remoteBytes int64) time.Duration {
 	d := m.readTime(localBytes) + m.readTime(remoteBytes) + m.netTime(remoteBytes)
+	// Failpoint: congestion on the modelled wire — charge extra fabric time
+	// (arg duration, default 1ms) without touching any real clock.
+	if fault.Eval(fault.NetsimFetchSlow) {
+		d += fault.DurationArg(fault.NetsimFetchSlow, time.Millisecond)
+	}
 	m.emit("shuffle.fetch", localBytes+remoteBytes, d)
 	return d
 }

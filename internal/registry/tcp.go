@@ -2,22 +2,36 @@ package registry
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"time"
+
+	"skyway/internal/fault"
 )
 
 // Wire protocol (Algorithm 1's driver daemon): length-free binary frames on
 // a persistent TCP connection, one request/response pair at a time.
 //
-//	request  := op(u8) payload
+//	request  := nonce(u32) op(u8) payload
+//	response := nonce(u32) payload
 //	op 'V' (REQUEST_VIEW): no payload  → resp: count(u32) {id(i32) name(str)}*
 //	op 'L' (LOOKUP):       name(str)   → resp: id(i32)
 //	op 'R' (REVERSE):      id(i32)     → resp: name(str)
 //	str := len(u32) bytes
+//
+// The nonce makes the client's retry policy safe against replay: every
+// registry operation is idempotent on the server (LookupOrAssign assigns at
+// most once per name), but a duplicated request — a retry racing a response
+// that was merely delayed, or a frame replayed by the transport — leaves an
+// extra response buffered on the connection, and without the nonce the
+// *next* exchange would consume that stale response as its own answer,
+// silently crossing type IDs between classes. The server echoes the request
+// nonce; a client that reads a response with the wrong nonce severs the
+// connection and retries on a fresh one.
 const (
 	opView    = 'V'
 	opLookup  = 'L'
@@ -135,8 +149,17 @@ func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
+		nonce, err := readI32(r)
+		if err != nil {
+			return
+		}
 		op, err := r.ReadByte()
 		if err != nil {
+			return
+		}
+		// Echo the request nonce ahead of the payload so the client can
+		// tell this response from a stale one left by a replayed request.
+		if err := writeI32(w, nonce); err != nil {
 			return
 		}
 		switch op {
@@ -194,6 +217,10 @@ type TCPClient struct {
 	r    *bufio.Reader
 	w    *bufio.Writer
 
+	// nonce numbers exchanges; the server echoes it so a response can be
+	// matched to its request (see the protocol comment above).
+	nonce uint32
+
 	timeout time.Duration
 	retries int
 	backoff time.Duration
@@ -228,6 +255,10 @@ func Dial(addr string, opts ...DialOption) (*TCPClient, error) {
 
 // redial (re)establishes the connection. Caller holds c.mu (or owns c).
 func (c *TCPClient) redial() error {
+	// Failpoint: the driver is unreachable for this dial attempt.
+	if err := fault.Inject(fault.RegistryDial); err != nil {
+		return fmt.Errorf("registry: dial %s: %w", c.addr, err)
+	}
 	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
 	if err != nil {
 		return fmt.Errorf("registry: dial %s: %w", c.addr, err)
@@ -246,9 +277,13 @@ func (c *TCPClient) drop() {
 }
 
 // exchange runs one request/response pair under the deadline/retry policy.
-// op reads and writes through c.r/c.w, which point at the current (possibly
-// fresh) connection on every attempt.
-func (c *TCPClient) exchange(op func() error) error {
+// It owns the nonce framing: the request is built in full (nonce, op,
+// payload from writeReq), sent, and the echoed response nonce is verified
+// before readResp consumes the payload. A nonce mismatch means the bytes on
+// the connection belong to some other exchange — a response replayed or left
+// behind by a duplicated request — so the connection is severed and the
+// exchange retried on a fresh one, which makes retries safe against replay.
+func (c *TCPClient) exchange(op byte, writeReq func(w io.Writer) error, readResp func(r *bufio.Reader) error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var err error
@@ -256,17 +291,61 @@ func (c *TCPClient) exchange(op func() error) error {
 		if attempt > 0 {
 			time.Sleep(c.backoff << (attempt - 1))
 		}
+		// Failpoint: the connection dies between exchanges, exercising the
+		// redial path below.
+		if fault.Eval(fault.RegistryExchangeDrop) {
+			c.drop()
+		}
 		if c.conn == nil {
 			if err = c.redial(); err != nil {
 				continue
 			}
 		}
+		// Failpoint: a stalled network before the exchange (arg duration);
+		// stalls beyond the timeout trip the per-exchange deadline.
+		fault.Sleep(fault.RegistryExchangeDelay)
+		c.nonce++
+		nonce := int32(c.nonce)
+		var req bytes.Buffer
+		writeI32(&req, nonce)
+		req.WriteByte(op)
+		if writeReq != nil {
+			if err := writeReq(&req); err != nil {
+				return err
+			}
+		}
 		c.conn.SetDeadline(time.Now().Add(c.timeout))
-		if err = op(); err == nil {
+		err = func() error {
+			if _, err := c.w.Write(req.Bytes()); err != nil {
+				return err
+			}
+			// Failpoint: the transport replays the request frame. The
+			// server answers both copies; the second response stays
+			// buffered on the connection, where only the nonce check
+			// keeps the NEXT exchange from adopting it as its answer.
+			if fault.Eval(fault.RegistryExchangeDup) {
+				if _, err := c.w.Write(req.Bytes()); err != nil {
+					return err
+				}
+			}
+			if err := c.w.Flush(); err != nil {
+				return err
+			}
+			echo, err := readI32(c.r)
+			if err != nil {
+				return err
+			}
+			if echo != nonce {
+				return fmt.Errorf("registry: response nonce %#x does not match request nonce %#x (stale or replayed response)", uint32(echo), uint32(nonce))
+			}
+			return readResp(c.r)
+		}()
+		if err == nil {
 			c.conn.SetDeadline(time.Time{})
 			return nil
 		}
-		// The exchange died mid-frame; the stream state is unknown.
+		// The exchange died mid-frame (or answered out of order); the
+		// stream state is unknown.
 		c.drop()
 	}
 	return fmt.Errorf("registry: request failed after %d attempts: %w", c.retries+1, err)
@@ -275,24 +354,18 @@ func (c *TCPClient) exchange(op func() error) error {
 // RequestView implements Client.
 func (c *TCPClient) RequestView() (map[string]int32, error) {
 	var out map[string]int32
-	err := c.exchange(func() error {
-		if err := c.w.WriteByte(opView); err != nil {
-			return err
-		}
-		if err := c.w.Flush(); err != nil {
-			return err
-		}
-		n, err := readI32(c.r)
+	err := c.exchange(opView, nil, func(r *bufio.Reader) error {
+		n, err := readI32(r)
 		if err != nil {
 			return err
 		}
 		out = make(map[string]int32, n)
 		for i := int32(0); i < n; i++ {
-			id, err := readI32(c.r)
+			id, err := readI32(r)
 			if err != nil {
 				return err
 			}
-			name, err := readStr(c.r)
+			name, err := readStr(r)
 			if err != nil {
 				return err
 			}
@@ -309,20 +382,13 @@ func (c *TCPClient) RequestView() (map[string]int32, error) {
 // Lookup implements Client.
 func (c *TCPClient) Lookup(name string) (int32, error) {
 	var id int32
-	err := c.exchange(func() error {
-		if err := c.w.WriteByte(opLookup); err != nil {
+	err := c.exchange(opLookup,
+		func(w io.Writer) error { return writeStr(w, name) },
+		func(r *bufio.Reader) error {
+			var err error
+			id, err = readI32(r)
 			return err
-		}
-		if err := writeStr(c.w, name); err != nil {
-			return err
-		}
-		if err := c.w.Flush(); err != nil {
-			return err
-		}
-		var err error
-		id, err = readI32(c.r)
-		return err
-	})
+		})
 	if err != nil {
 		return -1, err
 	}
@@ -332,20 +398,13 @@ func (c *TCPClient) Lookup(name string) (int32, error) {
 // Reverse implements Client.
 func (c *TCPClient) Reverse(id int32) (string, error) {
 	var name string
-	err := c.exchange(func() error {
-		if err := c.w.WriteByte(opReverse); err != nil {
+	err := c.exchange(opReverse,
+		func(w io.Writer) error { return writeI32(w, id) },
+		func(r *bufio.Reader) error {
+			var err error
+			name, err = readStr(r)
 			return err
-		}
-		if err := writeI32(c.w, id); err != nil {
-			return err
-		}
-		if err := c.w.Flush(); err != nil {
-			return err
-		}
-		var err error
-		name, err = readStr(c.r)
-		return err
-	})
+		})
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,138 @@
+package serial
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"skyway/internal/heap"
+	"skyway/internal/vm"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden wire vectors")
+
+// Golden wire vectors pin the on-the-wire encoding of the codecs the
+// benchmarks compare — including Skyway's versioned format (v2 with per-
+// frame CRC-32C). Any intentional format change must update the vectors
+// (go test ./internal/serial -run Golden -update) AND bump the wire
+// version; an accidental change fails here byte for byte.
+
+// goldenGraph builds the pinned object graph: two Media objects sharing a
+// deterministic structure, the second written twice to exercise stream
+// back-references.
+func goldenGraph(t *testing.T, rt *vm.Runtime) []heap.Addr {
+	t.Helper()
+	a := rt.Pin(buildMedia(t, rt, "skyway://golden/a.mkv", 1920, 1080))
+	t.Cleanup(a.Release)
+	b := rt.Pin(buildMedia(t, rt, "skyway://golden/b.webm", 640, 480))
+	t.Cleanup(b.Release)
+	return []heap.Addr{a.Addr(), b.Addr(), b.Addr()}
+}
+
+func goldenEncode(t *testing.T, c Codec, snd *vm.Runtime) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := c.NewEncoder(snd, &buf)
+	for _, root := range goldenGraph(t, snd) {
+		if err := enc.Write(root); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// checkGoldenDecode decodes the checked-in bytes (not the freshly encoded
+// ones) and verifies the graph, proving current readers accept the pinned
+// format.
+func checkGoldenDecode(t *testing.T, c Codec, rcv *vm.Runtime, wire []byte) {
+	t.Helper()
+	dec := c.NewDecoder(rcv, bytes.NewReader(wire))
+	mk := rcv.MustLoad("Media")
+	uris := []string{"skyway://golden/a.mkv", "skyway://golden/b.webm", "skyway://golden/b.webm"}
+	widths := []int64{1920, 640, 640}
+	for i, wantURI := range uris {
+		got, err := dec.Read()
+		if err != nil {
+			t.Fatalf("decoding golden root %d: %v", i, err)
+		}
+		if rcv.KlassOf(got) != mk {
+			t.Fatalf("root %d decoded as %s", i, rcv.KlassOf(got).Name)
+		}
+		if s := rcv.GoString(rcv.GetRef(got, mk.FieldByName("uri"))); s != wantURI {
+			t.Fatalf("root %d uri = %q, want %q", i, s, wantURI)
+		}
+		if w := rcv.GetInt(got, mk.FieldByName("width")); w != widths[i] {
+			t.Fatalf("root %d width = %d, want %d", i, w, widths[i])
+		}
+		if d := rcv.GetLong(got, mk.FieldByName("duration")); d != 1234567890123 {
+			t.Fatalf("root %d duration = %d", i, d)
+		}
+	}
+	if _, err := dec.Read(); err != io.EOF {
+		t.Fatalf("after golden roots: %v, want EOF", err)
+	}
+}
+
+func TestGoldenWireVectors(t *testing.T) {
+	reg := testRegistration()
+	cases := []struct {
+		name  string
+		codec func(snd, rcv *vm.Runtime) Codec
+	}{
+		{"java", func(_, _ *vm.Runtime) Codec { return JavaCodec() }},
+		{"kryo", func(_, _ *vm.Runtime) Codec { return KryoCodec(reg) }},
+		{"skyway", func(snd, rcv *vm.Runtime) Codec { return NewSkywayCodec(snd, rcv) }},
+		{"skyway-compact", func(snd, rcv *vm.Runtime) Codec {
+			c := NewSkywayCodec(snd, rcv)
+			c.Compact = true
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			snd, rcv := testPair(t)
+			c := tc.codec(snd, rcv)
+			wire := goldenEncode(t, c, snd)
+			path := filepath.Join("testdata", "golden", tc.name+".bin")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, wire, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(wire, want) {
+				t.Fatalf("%s encoding drifted from golden vector: %s",
+					tc.name, diffBytes(want, wire))
+			}
+			checkGoldenDecode(t, c, rcv, want)
+		})
+	}
+}
+
+// diffBytes reports the first divergence between two wire images.
+func diffBytes(want, got []byte) string {
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if want[i] != got[i] {
+			return fmt.Sprintf("lengths %d/%d, first differing byte at offset %#x: %#02x != %#02x",
+				len(want), len(got), i, got[i], want[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: got %d bytes, golden has %d", len(got), len(want))
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 
+	"skyway/internal/fault"
 	"skyway/internal/gc"
 	"skyway/internal/heap"
 	"skyway/internal/klass"
@@ -236,7 +237,14 @@ func (rt *Runtime) RefSlots(a heap.Addr, fn func(off uint32)) {
 // --- allocation --------------------------------------------------------------
 
 func (rt *Runtime) allocYoung(size uint32) (heap.Addr, error) {
-	if a := rt.Heap.AllocYoung(size); a != heap.Null {
+	// Failpoint: miss the fast path at exactly this safepoint, forcing a
+	// collection here (the GC-interaction stress of §4.3); with arg=oom the
+	// allocation fails outright instead.
+	if fault.Eval(fault.GCAllocFail) {
+		if arg, _ := fault.Arg(fault.GCAllocFail); arg == "oom" {
+			return heap.Null, fmt.Errorf("%w: %s: injected allocation failure of %d bytes", ErrOOM, rt.Name, size)
+		}
+	} else if a := rt.Heap.AllocYoung(size); a != heap.Null {
 		return a, nil
 	}
 	if !rt.GC.Scavenge() {
@@ -274,6 +282,12 @@ func (rt *Runtime) New(k *klass.Klass) (heap.Addr, error) {
 func (rt *Runtime) NewArray(k *klass.Klass, n int) (heap.Addr, error) {
 	if !k.IsArray {
 		return heap.Null, fmt.Errorf("vm: NewArray(%s): not an array klass", k.Name)
+	}
+	// Widen before multiplying: InstanceBytes computes in uint32, so an
+	// attacker-sized n (a decoded wire length) would wrap and yield an
+	// undersized allocation whose element writes land out of bounds.
+	if n < 0 || uint64(k.Size)+uint64(n)*uint64(k.ElemSize())+klass.WordSize > 1<<32-1 {
+		return heap.Null, fmt.Errorf("vm: NewArray(%s): length %d out of range", k.Name, n)
 	}
 	size := k.InstanceBytes(n)
 	a, err := rt.allocYoung(size)
