@@ -142,6 +142,14 @@ func (rd *Reader) decodeCompactSegment(phys []byte, base heap.Addr, decoded uint
 			if arrayLen > uint64(decoded) {
 				return rd.decodeErrf(DecodeLength, uint64(pos), "compact record array length %d implausible", arrayLen)
 			}
+			// Widen before multiplying (cf. vm.NewArray): InstanceBytes
+			// computes in uint32, so arrayLen near 2^32/ElemSize would wrap
+			// to a tiny size that passes the overrun check below and plants
+			// an oversized array-length header in the chunk. arrayLen <=
+			// decoded above bounds the uint64 product.
+			if uint64(k.Size)+arrayLen*uint64(k.ElemSize()) > uint64(end-a) {
+				return rd.decodeErrf(DecodeLength, uint64(pos), "compact record array length %d overruns its chunk", arrayLen)
+			}
 			size = k.InstanceBytes(int(arrayLen))
 			payloadOff = layout.ArrayHeaderSize()
 		}

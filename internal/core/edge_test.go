@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"testing"
 
@@ -290,6 +291,75 @@ func TestBufferSpaceRecycledAcrossTransfers(t *testing.T) {
 			t.Fatalf("round %d: %v", round, err)
 		}
 		r.Free()
+	}
+}
+
+// TestHugeArrayLengthRejected pins the widened size check in absolutize:
+// InstanceBytes computes Pad(Size + n*ElemSize) in uint32, so a wire-supplied
+// ref-array length of 2^29 (8-byte elements) wraps to a tiny size that passes
+// the per-object overrun check while refCount=n would drive slot reads and
+// absolutization writes far past the chunk. A length that large only passes
+// the n<=chunkSize plausibility check when the chunk itself is huge (the wire
+// format permits 1 GiB segments), so rather than stream a gigabyte through
+// the reader, the test stages a small real chunk and fabricates the chunk
+// table entry such a segment would register.
+func TestHugeArrayLengthRejected(t *testing.T) {
+	_, rcv, _ := testCluster(t)
+	h := rcv.Heap
+	ak := rcv.MustLoad("Date[]")
+
+	base := h.AllocBuffer(4096)
+	if base == heap.Null {
+		t.Fatal("AllocBuffer failed")
+	}
+	// A staged wire image's klass word holds the global type ID.
+	h.SetKlassWord(base, uint64(uint32(ak.TID)))
+	h.SetArrayLen(base, 1<<29)
+
+	rd := NewReader(rcv, bytes.NewReader(nil))
+	rd.chunks = append(rd.chunks, chunk{startRel: relBias, base: base, size: 1 << 30})
+	err := rd.absolutize()
+	de, ok := AsDecodeError(err)
+	if !ok {
+		t.Fatalf("absolutize = %v, want DecodeError", err)
+	}
+	if de.Kind != DecodeLength {
+		t.Errorf("DecodeError kind = %s, want %s", de.Kind, DecodeLength)
+	}
+}
+
+// TestCompactHugeArrayLengthRejected pins the same uint32 wrap on the compact
+// decode path: a compact record can declare a 2^29-element ref array in a few
+// bytes of varint, and the wrapped size would both pass the overrun check and
+// plant an oversized array-length header for absolutize to trip over. The
+// record must be rejected before any byte of it reaches the chunk.
+func TestCompactHugeArrayLengthRejected(t *testing.T) {
+	_, rcv, _ := testCluster(t)
+	h := rcv.Heap
+	ak := rcv.MustLoad("Date[]")
+
+	base := h.AllocBuffer(4096)
+	if base == heap.Null {
+		t.Fatal("AllocBuffer failed")
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	var phys []byte
+	phys = append(phys, tmp[:binary.PutUvarint(tmp[:], uint64(uint32(ak.TID)))]...)
+	phys = append(phys, compactFlagArray)
+	phys = append(phys, tmp[:binary.PutUvarint(tmp[:], 1<<29)]...)
+
+	rd := NewReader(rcv, bytes.NewReader(nil))
+	err := rd.decodeCompactSegment(phys, base, 1<<30)
+	de, ok := AsDecodeError(err)
+	if !ok {
+		t.Fatalf("decodeCompactSegment = %v, want DecodeError", err)
+	}
+	if de.Kind != DecodeLength {
+		t.Errorf("DecodeError kind = %s, want %s", de.Kind, DecodeLength)
+	}
+	// Rejection must precede the first mutation of the chunk.
+	if h.KlassWord(base) != 0 || h.ArrayLen(base) != 0 {
+		t.Error("rejected compact record was partially inflated into the chunk")
 	}
 }
 

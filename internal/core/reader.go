@@ -211,10 +211,8 @@ func (rd *Reader) ReadAll() ([]heap.Addr, error) {
 	}
 }
 
-// stageChunk validates the staged segment bytes and registers them as a new
-// pinned input-buffer chunk of `size` bytes at the next relative address.
-// tmp holds the standard-mode payload (nil for compact segments, which
-// inflate directly into the chunk).
+// stageChunk allocates a new pinned input-buffer chunk of `size` bytes to
+// hold the segment being received.
 func (rd *Reader) stageChunk(size uint32) (heap.Addr, error) {
 	var base heap.Addr
 	// Failpoint: a receiver under memory pressure loses the allocation race
@@ -421,7 +419,15 @@ func (rd *Reader) absolutize() error {
 			size := k.Size
 			if k.IsArray {
 				n := h.ArrayLen(a)
-				if n < 0 || uint64(n) > uint64(c.size) {
+				// Widen before multiplying (cf. vm.NewArray): InstanceBytes
+				// computes in uint32, so a wire-supplied length near
+				// 2^32/ElemSize would wrap to a tiny size that passes the
+				// overrun check below while refCount=n drives slot reads and
+				// absolutization writes far past the chunk. The n<=c.size
+				// pre-check bounds n so the uint64 product cannot itself
+				// overflow.
+				if n < 0 || uint64(n) > uint64(c.size) ||
+					uint64(k.Size)+uint64(n)*uint64(k.ElemSize()) > uint64(end-a) {
 					return rd.decodeErrf(DecodeLength, relOff, "array length %d of %s exceeds its chunk", n, k.Name)
 				}
 				size = k.InstanceBytes(n)

@@ -16,12 +16,24 @@ import (
 // Wire protocol (Algorithm 1's driver daemon): length-free binary frames on
 // a persistent TCP connection, one request/response pair at a time.
 //
+//	hello    := "SKYR" ver(u8)        -- once, immediately after connect
 //	request  := nonce(u32) op(u8) payload
 //	response := nonce(u32) payload
 //	op 'V' (REQUEST_VIEW): no payload  → resp: count(u32) {id(i32) name(str)}*
 //	op 'L' (LOOKUP):       name(str)   → resp: id(i32)
 //	op 'R' (REVERSE):      id(i32)     → resp: name(str)
 //	str := len(u32) bytes
+//
+// The hello versions the framing (like the Skyway stream header does):
+// version 2 is the nonce-prefixed framing below; version 1 was the
+// nonce-free framing it replaced. The server severs any connection whose
+// hello does not match its own version, so a mixed-version cluster fails
+// loudly at the first exchange instead of desyncing — without the hello, a
+// v2 server would consume a v1 client's op byte as part of the nonce and
+// both sides would misparse every frame after it. A v1 server reading a v2
+// hello sees an unknown op and severs likewise. Driver and executors are
+// still expected to be upgraded together; the hello turns a skew into a
+// clean connection error rather than crossed type IDs.
 //
 // The nonce makes the client's retry policy safe against replay: every
 // registry operation is idempotent on the server (LookupOrAssign assigns at
@@ -33,6 +45,9 @@ import (
 // nonce; a client that reads a response with the wrong nonce severs the
 // connection and retries on a fresh one.
 const (
+	protoMagic   = "SKYR"
+	protoVersion = 2 // nonce-prefixed framing
+
 	opView    = 'V'
 	opLookup  = 'L'
 	opReverse = 'R'
@@ -148,6 +163,15 @@ func (s *Server) acceptLoop() {
 func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	// Version hello: a mismatched peer is severed before any framing is
+	// consumed (see the protocol comment above).
+	var hello [len(protoMagic) + 1]byte
+	if _, err := io.ReadFull(r, hello[:]); err != nil {
+		return
+	}
+	if string(hello[:len(protoMagic)]) != protoMagic || hello[len(protoMagic)] != protoVersion {
+		return
+	}
 	for {
 		nonce, err := readI32(r)
 		if err != nil {
@@ -264,6 +288,11 @@ func (c *TCPClient) redial() error {
 		return fmt.Errorf("registry: dial %s: %w", c.addr, err)
 	}
 	c.conn, c.r, c.w = conn, bufio.NewReader(conn), bufio.NewWriter(conn)
+	// The version hello is buffered here and flushed ahead of the first
+	// exchange; a mismatched server severs the connection, so the exchange
+	// fails with a connection error instead of desyncing.
+	c.w.WriteString(protoMagic)
+	c.w.WriteByte(protoVersion)
 	return nil
 }
 

@@ -96,6 +96,43 @@ func TestTCPClientTimesOutOnStalledServer(t *testing.T) {
 	}
 }
 
+// A peer speaking a different framing generation must be severed at the
+// hello, not silently desynced: without the version check the server would
+// consume a pre-nonce client's op byte as part of the nonce and misparse
+// every frame after it.
+func TestServerSeversVersionMismatch(t *testing.T) {
+	reg := NewRegistry()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(reg, ln)
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		name  string
+		hello []byte
+	}{
+		// An old (pre-hello) client's first frame: nonce(u32) then op.
+		{"versionless", []byte{0, 0, 0, 1, opView}},
+		{"wrong version", append([]byte(protoMagic), protoVersion+1)},
+	} {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(tc.hello); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		var b [1]byte
+		if n, err := conn.Read(b[:]); err == nil || n != 0 {
+			t.Errorf("%s client got %d bytes (err=%v), want severed connection", tc.name, n, err)
+		}
+		conn.Close()
+	}
+}
+
 // A client must survive a one-off stall: when the real server comes back
 // (here: the stalled endpoint is replaced by a live Server on a new dial),
 // the retry path re-establishes the connection and the lookup succeeds.
