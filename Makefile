@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet skywayvet lint-fixtures race race-parallel verify chaos fuzz-smoke check check-parallel bench-json bench-cmp
+.PHONY: build test vet skywayvet vet-taint sarif lint-fixtures race race-parallel verify chaos fuzz-smoke check check-parallel bench-json bench-cmp
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,15 @@ vet:
 
 skywayvet:
 	$(GO) run ./cmd/skywayvet ./...
+
+# Just the dataflow analyzers — the slow interprocedural pair — for the
+# dedicated CI job and for quick local iteration on decode-path changes.
+vet-taint:
+	$(GO) run ./cmd/skywayvet -analyzers wiretaint,atomicmix ./...
+
+# Full suite as SARIF 2.1.0, for code-scanning upload.
+sarif:
+	$(GO) run ./cmd/skywayvet -sarif ./... > skywayvet.sarif || true
 
 # Run each analyzer against its testdata fixture package standalone: the
 # fixture `// want` expectations are the analyzers' behavioural contract.

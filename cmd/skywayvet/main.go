@@ -1,20 +1,26 @@
 // Command skywayvet is the project's custom vet multichecker: it runs the
 // skyway-specific static analyzers (addrarith, rawslab, atomicbaddr,
-// staleaddr, writebarrier) over the given package patterns and exits
-// nonzero on any finding.
+// staleaddr, writebarrier, wiretaint, atomicmix) over the given package
+// patterns and exits nonzero on any finding.
 //
 // Usage:
 //
 //	go run ./cmd/skywayvet ./...
 //	go run ./cmd/skywayvet -list
 //	go run ./cmd/skywayvet -json ./...
+//	go run ./cmd/skywayvet -sarif ./... > skywayvet.sarif
+//	go run ./cmd/skywayvet -analyzers wiretaint,atomicmix ./...
 //	go run ./cmd/skywayvet -run staleaddr,writebarrier ./internal/vm/...
 //
-// It needs only the Go toolchain: packages are loaded via `go list -export`
-// and type-checked from source against the toolchain's export data.
+// -analyzers and -run are synonyms (the former reads better in CI job
+// definitions); selecting a subset changes which checks run but never the
+// exit-code contract or the -json/-sarif schema. It needs only the Go
+// toolchain: packages are loaded via `go list -export` and type-checked
+// from source against the toolchain's export data.
 //
 // Exit codes: 0 clean, 1 findings reported, 2 usage error (unknown
-// analyzer), 3 the packages failed to load or type-check.
+// analyzer, conflicting flags), 3 the packages failed to load or
+// type-check.
 package main
 
 import (
@@ -53,7 +59,9 @@ type jsonFinding struct {
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	analyzerList := flag.String("analyzers", "", "synonym for -run")
 	asJSON := flag.Bool("json", false, "emit findings as JSON on stdout")
+	asSARIF := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 on stdout")
 	flag.Parse()
 
 	all := analyzers.All()
@@ -62,6 +70,17 @@ func main() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *asJSON && *asSARIF {
+		fmt.Fprintln(os.Stderr, "skywayvet: -json and -sarif are mutually exclusive")
+		os.Exit(exitUsage)
+	}
+	if *run != "" && *analyzerList != "" && *run != *analyzerList {
+		fmt.Fprintln(os.Stderr, "skywayvet: -run and -analyzers are synonyms; pass only one")
+		os.Exit(exitUsage)
+	}
+	if *run == "" {
+		*run = *analyzerList
 	}
 
 	selected := all
@@ -101,7 +120,12 @@ func main() {
 		counts[f.Analyzer]++
 	}
 
-	if *asJSON {
+	if *asSARIF {
+		if err := writeSARIF(os.Stdout, selected, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "skywayvet: %v\n", err)
+			os.Exit(exitLoadError)
+		}
+	} else if *asJSON {
 		rep := report{Findings: []jsonFinding{}, Counts: counts, Total: len(findings)}
 		for _, f := range findings {
 			rep.Findings = append(rep.Findings, jsonFinding{
@@ -122,12 +146,16 @@ func main() {
 		for _, f := range findings {
 			fmt.Println(f)
 		}
-		// Per-analyzer summary, in the analyzers' registration order.
-		parts := make([]string, 0, len(selected))
+		// Per-analyzer summary, in the analyzers' registration order; the
+		// framework's own suppression-audit findings come last.
+		parts := make([]string, 0, len(selected)+1)
 		for _, a := range selected {
 			if n := counts[a.Name]; n > 0 {
 				parts = append(parts, fmt.Sprintf("%s %d", a.Name, n))
 			}
+		}
+		if n := counts[framework.SuppressionAnalyzerName]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s %d", framework.SuppressionAnalyzerName, n))
 		}
 		switch {
 		case len(findings) == 0:

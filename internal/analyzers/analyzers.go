@@ -11,7 +11,12 @@
 //     collection is a stale pointer once the copying GC moves the object —
 //     root it in a gc.Handle instead (the safepoint discipline);
 //   - writebarrier: a reference store that bypasses Runtime.SetRef must
-//     still dirty the card table, or scavenges miss old-to-young edges.
+//     still dirty the card table, or scavenges miss old-to-young edges;
+//   - wiretaint: integers decoded off the wire must pass a full-width
+//     bounds check before sizing an allocation, indexing, or offsetting a
+//     heap address — truncated-width comparisons do not count;
+//   - atomicmix: memory accessed through sync/atomic anywhere in the
+//     module must never be loaded or stored plainly elsewhere.
 package analyzers
 
 import (
@@ -23,7 +28,7 @@ import (
 // All returns every skywayvet analyzer, in the order the multichecker runs
 // them.
 func All() []*framework.Analyzer {
-	return []*framework.Analyzer{AddrArith, RawSlab, AtomicBaddr, StaleAddr, WriteBarrier}
+	return []*framework.Analyzer{AddrArith, RawSlab, AtomicBaddr, StaleAddr, WriteBarrier, WireTaint, AtomicMix}
 }
 
 const (
@@ -44,6 +49,7 @@ var exemptions = map[string]map[string]bool{
 	"atomicbaddr":  {heapPkg: true},
 	"staleaddr":    {heapPkg: true, gcPkg: true},
 	"writebarrier": {heapPkg: true, gcPkg: true},
+	"atomicmix":    {heapPkg: true},
 }
 
 // exemptPkg reports whether the pass's package is allowlisted for the

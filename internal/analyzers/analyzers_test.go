@@ -32,6 +32,14 @@ func TestWriteBarrierFixture(t *testing.T) {
 	framework.RunFixture(t, analyzers.WriteBarrier, fixtureRoot+"writebarrier")
 }
 
+func TestWireTaintFixture(t *testing.T) {
+	framework.RunFixture(t, analyzers.WireTaint, fixtureRoot+"wiretaint")
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	framework.RunFixture(t, analyzers.AtomicMix, fixtureRoot+"atomicmix")
+}
+
 // TestSuiteRunsCleanOnRepo is the acceptance gate: the production tree must
 // carry zero findings, so a regression against any slab-layer rule fails CI
 // here as well as in `go run ./cmd/skywayvet ./...`.

@@ -1,0 +1,91 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"skyway/internal/analyzers/framework"
+)
+
+// AtomicMix flags memory that is accessed both atomically and plainly. The
+// module-wide sweep (framework.AtomicClaims) collects every package-level
+// variable and struct field that some code touches through sync/atomic —
+// an address-taking call like atomic.AddInt64(&s.n, 1) or a method on a
+// typed atomic like atomic.Pointer — and this pass then reports every
+// remaining plain mention of the same variable anywhere in the module.
+// One racy plain store invalidates all the atomic discipline around it:
+// the race detector only catches the interleavings a test happens to run,
+// while the claim set catches the pattern statically (the boxField race
+// fixed in PR 3 was exactly this shape).
+var AtomicMix = &framework.Analyzer{
+	Name: "atomicmix",
+	Doc: "flag variables and struct fields accessed both through sync/atomic and " +
+		"via plain loads/stores; mixed access is a data race — once one access " +
+		"site is atomic, every access must be",
+	NeedsModule: true,
+	Run:         runAtomicMix,
+}
+
+func runAtomicMix(p *framework.Pass) error {
+	if exemptPkg(p) {
+		return nil
+	}
+	claims := p.Module.AtomicClaims()
+	if len(claims) == 0 {
+		return nil
+	}
+	for _, f := range p.Files {
+		compositeKeys := compositeKeyPositions(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := p.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			claim, claimed := claims[v]
+			if !claimed || p.Module.AtomicSanctioned(id.Pos()) {
+				return true
+			}
+			// A keyed composite literal initializes memory no other
+			// goroutine can see yet; construction is not an access.
+			if compositeKeys[id.Pos()] {
+				return true
+			}
+			kind := "struct field"
+			if !v.IsField() {
+				kind = "package variable"
+			}
+			p.Reportf(id.Pos(),
+				"%s %s is accessed atomically via %s (%s) but plainly here; mixing atomic and plain access is a data race — use the atomic API at every access site",
+				kind, v.Name(), claim.Via, claim.Pos)
+			return true
+		})
+	}
+	return nil
+}
+
+// compositeKeyPositions collects the positions of field-name keys in keyed
+// composite literals, which name a field without loading or storing it
+// through shared memory.
+func compositeKeyPositions(f *ast.File) map[token.Pos]bool {
+	keys := make(map[token.Pos]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, elt := range cl.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					keys[id.Pos()] = true
+				}
+			}
+		}
+		return true
+	})
+	return keys
+}

@@ -1,0 +1,261 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds the statement-granular control-flow graph shared by both
+// halves of the dataflow engine: the backward live-variable pass
+// (liveness.go) and the forward join-lattice solver (forward.go). The CFG
+// is deliberately statement-granular — skywayvet's clients reason about
+// facts "at this statement"; per-expression ordering inside one statement
+// is handled separately by the analyzers.
+
+// CFGNode is one node of a function body's control-flow graph. Payload is
+// the syntax evaluated at the node (a statement, a condition expression, or
+// several for merged heads like switch); Succs/Preds are the control-flow
+// edges.
+type CFGNode struct {
+	Payload []ast.Node
+	Succs   []*CFGNode
+	Preds   []*CFGNode
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Nodes holds every node in creation order (roughly bottom-up, so
+	// forward iteration approximates reverse program order).
+	Nodes []*CFGNode
+	// Entry is the node where execution begins; Exit is the single node
+	// every return (and normal fall-off) reaches. Deferred statements are
+	// modelled as payload at Exit: they run on function exit using values
+	// captured at the defer site.
+	Entry, Exit *CFGNode
+}
+
+// BuildCFG constructs the control-flow graph for body and computes the
+// predecessor edges.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{labels: make(map[string]*CFGNode)}
+	b.exit = b.newNode()
+	entry := b.stmtList(body.List, b.exit)
+	for _, d := range b.defers {
+		b.exit.Payload = append(b.exit.Payload, d)
+	}
+	for _, n := range b.nodes {
+		for _, s := range n.Succs {
+			s.Preds = append(s.Preds, n)
+		}
+	}
+	return &CFG{Nodes: b.nodes, Entry: entry, Exit: b.exit}
+}
+
+type cfgBuilder struct {
+	nodes  []*CFGNode
+	exit   *CFGNode
+	labels map[string]*CFGNode // label -> placeholder entry node
+	defers []ast.Stmt
+
+	// breakables tracks enclosing for/range/switch/select statements,
+	// innermost last; cont is nil for non-loops.
+	breakables []breakable
+	// pendingLabel is the label of the LabeledStmt being built, consumed by
+	// the next loop/switch/select so labeled break/continue resolve.
+	pendingLabel string
+	// fallTarget is the entry of the next case clause while a switch clause
+	// body is being built.
+	fallTarget *CFGNode
+}
+
+type breakable struct {
+	label     string
+	brk, cont *CFGNode
+}
+
+func (b *cfgBuilder) newNode(payload ...ast.Node) *CFGNode {
+	n := &CFGNode{Payload: payload}
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+func (b *cfgBuilder) labelNode(name string) *CFGNode {
+	if n, ok := b.labels[name]; ok {
+		return n
+	}
+	n := b.newNode()
+	b.labels[name] = n
+	return n
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// stmtList builds list so control falls through to succ; returns the entry.
+func (b *cfgBuilder) stmtList(list []ast.Stmt, succ *CFGNode) *CFGNode {
+	for i := len(list) - 1; i >= 0; i-- {
+		succ = b.stmt(list[i], succ)
+	}
+	return succ
+}
+
+// stmt builds one statement with successor succ and returns its entry node.
+func (b *cfgBuilder) stmt(s ast.Stmt, succ *CFGNode) *CFGNode {
+	switch s := s.(type) {
+	case nil:
+		return succ
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, succ)
+	case *ast.EmptyStmt:
+		return succ
+	case *ast.LabeledStmt:
+		ph := b.labelNode(s.Label.Name)
+		b.pendingLabel = s.Label.Name
+		inner := b.stmt(s.Stmt, succ)
+		b.pendingLabel = ""
+		ph.Succs = append(ph.Succs, inner)
+		return ph
+	case *ast.IfStmt:
+		thenE := b.stmt(s.Body, succ)
+		elseE := succ
+		if s.Else != nil {
+			elseE = b.stmt(s.Else, succ)
+		}
+		cond := b.newNode(s.Cond)
+		cond.Succs = []*CFGNode{thenE, elseE}
+		if s.Init != nil {
+			return b.stmt(s.Init, cond)
+		}
+		return cond
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		head := b.newNode()
+		if s.Cond != nil {
+			head.Payload = append(head.Payload, s.Cond)
+			head.Succs = append(head.Succs, succ)
+		}
+		cont := head
+		if s.Post != nil {
+			post := b.newNode(s.Post)
+			post.Succs = []*CFGNode{head}
+			cont = post
+		}
+		b.breakables = append(b.breakables, breakable{label, succ, cont})
+		bodyE := b.stmt(s.Body, cont)
+		b.breakables = b.breakables[:len(b.breakables)-1]
+		head.Succs = append(head.Succs, bodyE)
+		if s.Init != nil {
+			return b.stmt(s.Init, head)
+		}
+		return head
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newNode(s) // use/def walks X, Key, Value only
+		head.Succs = []*CFGNode{succ}
+		b.breakables = append(b.breakables, breakable{label, succ, head})
+		bodyE := b.stmt(s.Body, head)
+		b.breakables = b.breakables[:len(b.breakables)-1]
+		head.Succs = append(head.Succs, bodyE)
+		return head
+	case *ast.SwitchStmt:
+		return b.switchStmt(s.Init, s.Tag, nil, s.Body, succ)
+	case *ast.TypeSwitchStmt:
+		return b.switchStmt(s.Init, nil, s.Assign, s.Body, succ)
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.newNode()
+		b.breakables = append(b.breakables, breakable{label, succ, nil})
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			comm := b.newNode()
+			if cc.Comm != nil {
+				comm.Payload = append(comm.Payload, cc.Comm)
+			}
+			comm.Succs = []*CFGNode{b.stmtList(cc.Body, succ)}
+			head.Succs = append(head.Succs, comm)
+		}
+		b.breakables = b.breakables[:len(b.breakables)-1]
+		return head
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			for i := len(b.breakables) - 1; i >= 0; i-- {
+				t := b.breakables[i]
+				if s.Label == nil || t.label == s.Label.Name {
+					return t.brk
+				}
+			}
+		case token.CONTINUE:
+			for i := len(b.breakables) - 1; i >= 0; i-- {
+				t := b.breakables[i]
+				if t.cont != nil && (s.Label == nil || t.label == s.Label.Name) {
+					return t.cont
+				}
+			}
+		case token.GOTO:
+			return b.labelNode(s.Label.Name)
+		case token.FALLTHROUGH:
+			if b.fallTarget != nil {
+				return b.fallTarget
+			}
+		}
+		return succ
+	case *ast.ReturnStmt:
+		n := b.newNode(s)
+		n.Succs = []*CFGNode{b.exit}
+		return n
+	case *ast.DeferStmt:
+		b.defers = append(b.defers, s)
+		n := b.newNode(s)
+		n.Succs = []*CFGNode{succ}
+		return n
+	default:
+		// ExprStmt, AssignStmt, DeclStmt, IncDecStmt, SendStmt, GoStmt.
+		n := b.newNode(s)
+		n.Succs = []*CFGNode{succ}
+		return n
+	}
+}
+
+// switchStmt builds an expression or type switch. For dataflow the clause
+// guards can all be evaluated at the head — precision about Go's sequential
+// case testing is unnecessary for a may-analysis.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, succ *CFGNode) *CFGNode {
+	label := b.takeLabel()
+	head := b.newNode()
+	if tag != nil {
+		head.Payload = append(head.Payload, tag)
+	}
+	if assign != nil {
+		head.Payload = append(head.Payload, assign)
+	}
+	b.breakables = append(b.breakables, breakable{label, succ, nil})
+	hasDefault := false
+	next := succ // fallthrough target beyond the clause being built
+	for i := len(body.List) - 1; i >= 0; i-- {
+		cc := body.List[i].(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			head.Payload = append(head.Payload, e)
+		}
+		saved := b.fallTarget
+		b.fallTarget = next
+		bodyE := b.stmtList(cc.Body, succ)
+		b.fallTarget = saved
+		next = bodyE
+		head.Succs = append(head.Succs, bodyE)
+	}
+	b.breakables = b.breakables[:len(b.breakables)-1]
+	if !hasDefault {
+		head.Succs = append(head.Succs, succ)
+	}
+	if init != nil {
+		return b.stmt(init, head)
+	}
+	return head
+}

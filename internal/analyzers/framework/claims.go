@@ -1,0 +1,142 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Module-wide atomic-claim sweep backing the atomicmix analyzer: find every
+// package-level variable and struct field accessed through sync/atomic —
+// either by address (atomic.AddUint64(&s.n, 1)) or as a typed atomic
+// (s.ptr.Load() on an atomic.Pointer[T]) — and remember where, so a
+// per-package pass can flag the remaining plain loads and stores of the
+// same memory. Granularity is the types.Var: one struct field object is
+// shared by every instance, which is exactly the invariant's scope ("this
+// field is CAS-claimed" is a property of the field, not of one struct
+// value).
+
+// AtomicClaim records why a variable counts as atomically accessed.
+type AtomicClaim struct {
+	// Pos is the first atomic access site seen, for diagnostics.
+	Pos token.Position
+	// Via names the access: "atomic.AddInt64" or "(atomic.Pointer).Store".
+	Via string
+	// Typed is true when the claim comes from a sync/atomic value type
+	// (atomic.Pointer, atomic.Uint64, ...) rather than an address-taking
+	// atomic call.
+	Typed bool
+}
+
+const atomicPkgPath = "sync/atomic"
+
+// AtomicClaims sweeps every loaded package once and returns the claimed
+// variables. Mentions that ARE the atomic access (the &x inside the atomic
+// call, the receiver of a typed atomic's method) are recorded as sanctioned
+// so the atomicmix pass can skip them; query with AtomicSanctioned.
+func (m *Module) AtomicClaims() map[*types.Var]AtomicClaim {
+	if m.atomicClaims != nil {
+		return m.atomicClaims
+	}
+	m.atomicClaims = make(map[*types.Var]AtomicClaim)
+	m.atomicSanctioned = make(map[token.Pos]bool)
+	for _, pkg := range m.pkgs {
+		for _, f := range pkg.Syntax {
+			m.sweepFile(pkg, f)
+		}
+	}
+	return m.atomicClaims
+}
+
+// AtomicSanctioned reports whether the identifier at pos is itself part of
+// an atomic access (and therefore not a plain access). Valid only after
+// AtomicClaims has run.
+func (m *Module) AtomicSanctioned(pos token.Pos) bool {
+	return m.atomicSanctioned[pos]
+}
+
+func (m *Module) sweepFile(pkg *Package, f *ast.File) {
+	info := pkg.TypesInfo
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// Case 1: package-level sync/atomic function — the first argument
+		// is the address of the claimed word.
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == atomicPkgPath &&
+			fn.Type().(*types.Signature).Recv() == nil && len(call.Args) > 0 {
+			if ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+				if v, id := m.claimTarget(info, ue.X); v != nil {
+					m.claim(pkg, v, id, "atomic."+fn.Name(), false)
+				}
+			}
+			return true
+		}
+		// Case 2: method on a sync/atomic value type — the receiver
+		// expression names the claimed variable or field.
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			obj := s.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == atomicPkgPath {
+				if v, id := m.claimTarget(info, sel.X); v != nil {
+					recv := "atomic value"
+					if named := namedOf(s.Recv()); named != nil {
+						recv = "atomic." + named.Obj().Name()
+					}
+					m.claim(pkg, v, id, "("+recv+")."+obj.Name(), true)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// claimTarget resolves an expression naming atomically accessed memory to a
+// package-level variable or struct field, along with the identifier that
+// names it (for sanctioning). Locals are out of scope — the atomicmix
+// invariant is about memory shared across functions — and element accesses
+// (&s.words[i]) have no per-element types.Var to claim.
+func (m *Module) claimTarget(info *types.Info, e ast.Expr) (*types.Var, *ast.Ident) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && claimable(v) {
+			return v, e
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && claimable(v) {
+			return v, e.Sel
+		}
+	case *ast.StarExpr:
+		return m.claimTarget(info, e.X)
+	}
+	return nil, nil
+}
+
+// claimable restricts claims to struct fields and package-level variables.
+func claimable(v *types.Var) bool {
+	if v.IsField() {
+		return true
+	}
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func (m *Module) claim(pkg *Package, v *types.Var, id *ast.Ident, via string, typed bool) {
+	m.atomicSanctioned[id.Pos()] = true
+	if _, ok := m.atomicClaims[v]; !ok {
+		m.atomicClaims[v] = AtomicClaim{Pos: pkg.Fset.Position(id.Pos()), Via: via, Typed: typed}
+	}
+}
+
+// namedOf unwraps a type to its named form through one pointer level.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

@@ -1,0 +1,87 @@
+package framework
+
+// This file is the forward half of the dataflow engine: a generic
+// join-lattice worklist solver over the shared statement-granular CFG
+// (cfg.go). The backward liveness pass (liveness.go) predates it and keeps
+// its specialized solver; new forward analyses (taint.go) implement
+// ForwardProblem and call SolveForward.
+
+// State is one point in a join-semilattice of abstract program states.
+// Join computes the least upper bound and must not mutate either operand;
+// Equal decides fixpoint convergence. The solver represents bottom (the
+// state of an unreached node) as a nil State, so implementations never see
+// a nil argument.
+type State interface {
+	Join(State) State
+	Equal(State) bool
+}
+
+// ForwardProblem describes one forward dataflow analysis: the state on
+// function entry and the transfer function applied to each CFG node.
+// Transfer must not mutate in; it returns the state after the node's
+// payload executes. For the solver to terminate on its own the transfer
+// function should be monotone over a finite-height lattice; the solver
+// additionally accumulates each node's output by join and caps visits per
+// node (the widening guard), so even a non-monotone or infinite-height
+// problem cannot loop forever.
+type ForwardProblem interface {
+	Entry() State
+	Transfer(n *CFGNode, in State) State
+}
+
+// widenFactor bounds solver visits per node: a finite-height lattice
+// converges in height*|nodes| visits at worst, and well-formed skywayvet
+// problems (powerset lattices over a function's variables) converge far
+// sooner. The cap only matters for ill-behaved State implementations.
+const widenFactor = 64
+
+// SolveForward runs the worklist fixpoint for p over cfg and returns the
+// state at the entry of every reached node (the "in" states). Nodes
+// unreachable from Entry are absent from the result.
+func SolveForward(cfg *CFG, p ForwardProblem) map[*CFGNode]State {
+	in := make(map[*CFGNode]State, len(cfg.Nodes))
+	out := make(map[*CFGNode]State, len(cfg.Nodes))
+	visits := make(map[*CFGNode]int, len(cfg.Nodes))
+	maxVisits := widenFactor * (len(cfg.Nodes) + 1)
+
+	in[cfg.Entry] = p.Entry()
+	work := []*CFGNode{cfg.Entry}
+	queued := map[*CFGNode]bool{cfg.Entry: true}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		queued[n] = false
+		if visits[n] >= maxVisits {
+			// Widening guard: stop revisiting; the states computed so far
+			// are a sound under-approximation for a may-analysis.
+			continue
+		}
+		visits[n]++
+
+		o := p.Transfer(n, in[n])
+		if prev := out[n]; prev != nil {
+			// Accumulate by join: output states only grow, which restores
+			// monotonicity even if Transfer itself is not monotone.
+			o = prev.Join(o)
+			if o.Equal(prev) {
+				continue
+			}
+		}
+		out[n] = o
+		for _, s := range n.Succs {
+			joined := o
+			if prev := in[s]; prev != nil {
+				joined = prev.Join(o)
+				if joined.Equal(prev) {
+					continue
+				}
+			}
+			in[s] = joined
+			if !queued[s] {
+				work = append(work, s)
+				queued[s] = true
+			}
+		}
+	}
+	return in
+}

@@ -85,6 +85,7 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		allow := suppressionsOf(pkg)
+		auditSuppressions(pkg, allow, func(f Finding) { findings = append(findings, f) })
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,

@@ -7,13 +7,11 @@ import (
 	"sort"
 )
 
-// This file provides the intraprocedural half of the dataflow engine: a
-// statement-level control-flow graph per function body and a backward
-// live-variable pass over a caller-chosen set of variables (skywayvet
-// tracks heap.Addr-typed locals and parameters). The CFG is deliberately
-// statement-granular — skywayvet's clients reason about "is v live across
-// this call", for which per-expression ordering inside one statement is
-// handled separately by the analyzers.
+// This file is the backward half of the dataflow engine: live-variable
+// analysis over the shared statement-granular CFG (cfg.go) for a
+// caller-chosen set of variables (skywayvet tracks heap.Addr-typed locals
+// and parameters). The forward half — the join-lattice fixpoint solver —
+// lives in forward.go.
 
 // FuncUnit is one function body analyzed as an independent liveness unit:
 // every FuncDecl and every FuncLit. A literal is its own unit; variables it
@@ -21,6 +19,7 @@ import (
 // held across a collection inside the literal is still seen.
 type FuncUnit struct {
 	Name string // declaration name, or "function literal"
+	Type *ast.FuncType
 	Body *ast.BlockStmt
 }
 
@@ -32,11 +31,11 @@ func Units(file *ast.File) []FuncUnit {
 		if !ok || fd.Body == nil {
 			continue
 		}
-		units = append(units, FuncUnit{Name: fd.Name.Name, Body: fd.Body})
+		units = append(units, FuncUnit{Name: fd.Name.Name, Type: fd.Type, Body: fd.Body})
 	}
 	ast.Inspect(file, func(n ast.Node) bool {
 		if lit, ok := n.(*ast.FuncLit); ok {
-			units = append(units, FuncUnit{Name: "function literal", Body: lit.Body})
+			units = append(units, FuncUnit{Name: "function literal", Type: lit.Type, Body: lit.Body})
 		}
 		return true
 	})
@@ -52,291 +51,75 @@ type LiveNode struct {
 	Across  []*types.Var
 }
 
+// liveFacts carries one node's use/def sets and solved in/out liveness.
+type liveFacts struct {
+	use, def, in, out varSet
+}
+
 // LivenessOf builds the CFG for body, solves backward liveness for the
 // variables accepted by isTracked, and returns the payload-bearing nodes.
 func LivenessOf(body *ast.BlockStmt, info *types.Info, isTracked func(*types.Var) bool) []LiveNode {
-	b := &cfgBuilder{labels: make(map[string]*cfgNode)}
-	b.exit = b.newNode()
-	b.stmtList(body.List, b.exit)
-	// Deferred statements execute on function exit using values captured at
-	// the defer site; modelling them as uses at exit keeps those values live
-	// from the defer statement to the end of the function.
-	for _, d := range b.defers {
-		b.exit.payload = append(b.exit.payload, d)
-	}
+	cfg := BuildCFG(body)
 
-	for _, n := range b.nodes {
-		n.computeUseDef(info, isTracked)
+	facts := make(map[*CFGNode]*liveFacts, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		facts[n] = computeUseDef(n, info, isTracked)
 	}
 	// Backward fixpoint. Nodes were created roughly bottom-up, so forward
 	// creation order approximates reverse program order — good enough; the
 	// loop runs until stable regardless.
 	for changed := true; changed; {
 		changed = false
-		for _, n := range b.nodes {
+		for _, n := range cfg.Nodes {
+			f := facts[n]
 			out := make(varSet)
-			for _, s := range n.succs {
-				for v := range s.in {
+			for _, s := range n.Succs {
+				for v := range facts[s].in {
 					out[v] = struct{}{}
 				}
 			}
 			in := make(varSet)
 			for v := range out {
-				if _, killed := n.def[v]; !killed {
+				if _, killed := f.def[v]; !killed {
 					in[v] = struct{}{}
 				}
 			}
-			for v := range n.use {
+			for v := range f.use {
 				in[v] = struct{}{}
 			}
-			if len(out) != len(n.out) || len(in) != len(n.in) {
-				n.out, n.in = out, in
+			if len(out) != len(f.out) || len(in) != len(f.in) {
+				f.out, f.in = out, in
 				changed = true
 			} else {
-				n.out, n.in = out, in
+				f.out, f.in = out, in
 			}
 		}
 	}
 
 	var result []LiveNode
-	for _, n := range b.nodes {
-		if len(n.payload) == 0 {
+	for _, n := range cfg.Nodes {
+		if len(n.Payload) == 0 {
 			continue
 		}
+		f := facts[n]
 		var across []*types.Var
-		for v := range n.out {
-			if _, killed := n.def[v]; !killed {
+		for v := range f.out {
+			if _, killed := f.def[v]; !killed {
 				across = append(across, v)
 			}
 		}
 		sort.Slice(across, func(i, j int) bool { return across[i].Pos() < across[j].Pos() })
-		result = append(result, LiveNode{Payload: n.payload, Across: across})
+		result = append(result, LiveNode{Payload: n.Payload, Across: across})
 	}
 	return result
 }
 
 type varSet map[*types.Var]struct{}
 
-type cfgNode struct {
-	payload []ast.Node
-	succs   []*cfgNode
-
-	use, def, in, out varSet
-}
-
-type cfgBuilder struct {
-	nodes  []*cfgNode
-	exit   *cfgNode
-	labels map[string]*cfgNode // label -> placeholder entry node
-	defers []ast.Stmt
-
-	// breakables tracks enclosing for/range/switch/select statements,
-	// innermost last; cont is nil for non-loops.
-	breakables []breakable
-	// pendingLabel is the label of the LabeledStmt being built, consumed by
-	// the next loop/switch/select so labeled break/continue resolve.
-	pendingLabel string
-	// fallTarget is the entry of the next case clause while a switch clause
-	// body is being built.
-	fallTarget *cfgNode
-}
-
-type breakable struct {
-	label     string
-	brk, cont *cfgNode
-}
-
-func (b *cfgBuilder) newNode(payload ...ast.Node) *cfgNode {
-	n := &cfgNode{payload: payload}
-	b.nodes = append(b.nodes, n)
-	return n
-}
-
-func (b *cfgBuilder) labelNode(name string) *cfgNode {
-	if n, ok := b.labels[name]; ok {
-		return n
-	}
-	n := b.newNode()
-	b.labels[name] = n
-	return n
-}
-
-func (b *cfgBuilder) takeLabel() string {
-	l := b.pendingLabel
-	b.pendingLabel = ""
-	return l
-}
-
-// stmtList builds list so control falls through to succ; returns the entry.
-func (b *cfgBuilder) stmtList(list []ast.Stmt, succ *cfgNode) *cfgNode {
-	for i := len(list) - 1; i >= 0; i-- {
-		succ = b.stmt(list[i], succ)
-	}
-	return succ
-}
-
-// stmt builds one statement with successor succ and returns its entry node.
-func (b *cfgBuilder) stmt(s ast.Stmt, succ *cfgNode) *cfgNode {
-	switch s := s.(type) {
-	case nil:
-		return succ
-	case *ast.BlockStmt:
-		return b.stmtList(s.List, succ)
-	case *ast.EmptyStmt:
-		return succ
-	case *ast.LabeledStmt:
-		ph := b.labelNode(s.Label.Name)
-		b.pendingLabel = s.Label.Name
-		inner := b.stmt(s.Stmt, succ)
-		b.pendingLabel = ""
-		ph.succs = append(ph.succs, inner)
-		return ph
-	case *ast.IfStmt:
-		thenE := b.stmt(s.Body, succ)
-		elseE := succ
-		if s.Else != nil {
-			elseE = b.stmt(s.Else, succ)
-		}
-		cond := b.newNode(s.Cond)
-		cond.succs = []*cfgNode{thenE, elseE}
-		if s.Init != nil {
-			return b.stmt(s.Init, cond)
-		}
-		return cond
-	case *ast.ForStmt:
-		label := b.takeLabel()
-		head := b.newNode()
-		if s.Cond != nil {
-			head.payload = append(head.payload, s.Cond)
-			head.succs = append(head.succs, succ)
-		}
-		cont := head
-		if s.Post != nil {
-			post := b.newNode(s.Post)
-			post.succs = []*cfgNode{head}
-			cont = post
-		}
-		b.breakables = append(b.breakables, breakable{label, succ, cont})
-		bodyE := b.stmt(s.Body, cont)
-		b.breakables = b.breakables[:len(b.breakables)-1]
-		head.succs = append(head.succs, bodyE)
-		if s.Init != nil {
-			return b.stmt(s.Init, head)
-		}
-		return head
-	case *ast.RangeStmt:
-		label := b.takeLabel()
-		head := b.newNode(s) // use/def walks X, Key, Value only
-		head.succs = []*cfgNode{succ}
-		b.breakables = append(b.breakables, breakable{label, succ, head})
-		bodyE := b.stmt(s.Body, head)
-		b.breakables = b.breakables[:len(b.breakables)-1]
-		head.succs = append(head.succs, bodyE)
-		return head
-	case *ast.SwitchStmt:
-		return b.switchStmt(s.Init, s.Tag, nil, s.Body, succ)
-	case *ast.TypeSwitchStmt:
-		return b.switchStmt(s.Init, nil, s.Assign, s.Body, succ)
-	case *ast.SelectStmt:
-		label := b.takeLabel()
-		head := b.newNode()
-		b.breakables = append(b.breakables, breakable{label, succ, nil})
-		for _, clause := range s.Body.List {
-			cc := clause.(*ast.CommClause)
-			comm := b.newNode()
-			if cc.Comm != nil {
-				comm.payload = append(comm.payload, cc.Comm)
-			}
-			comm.succs = []*cfgNode{b.stmtList(cc.Body, succ)}
-			head.succs = append(head.succs, comm)
-		}
-		b.breakables = b.breakables[:len(b.breakables)-1]
-		return head
-	case *ast.BranchStmt:
-		switch s.Tok {
-		case token.BREAK:
-			for i := len(b.breakables) - 1; i >= 0; i-- {
-				t := b.breakables[i]
-				if s.Label == nil || t.label == s.Label.Name {
-					return t.brk
-				}
-			}
-		case token.CONTINUE:
-			for i := len(b.breakables) - 1; i >= 0; i-- {
-				t := b.breakables[i]
-				if t.cont != nil && (s.Label == nil || t.label == s.Label.Name) {
-					return t.cont
-				}
-			}
-		case token.GOTO:
-			return b.labelNode(s.Label.Name)
-		case token.FALLTHROUGH:
-			if b.fallTarget != nil {
-				return b.fallTarget
-			}
-		}
-		return succ
-	case *ast.ReturnStmt:
-		n := b.newNode(s)
-		n.succs = []*cfgNode{b.exit}
-		return n
-	case *ast.DeferStmt:
-		b.defers = append(b.defers, s)
-		n := b.newNode(s)
-		n.succs = []*cfgNode{succ}
-		return n
-	default:
-		// ExprStmt, AssignStmt, DeclStmt, IncDecStmt, SendStmt, GoStmt.
-		n := b.newNode(s)
-		n.succs = []*cfgNode{succ}
-		return n
-	}
-}
-
-// switchStmt builds an expression or type switch. For liveness the clause
-// guards can all be evaluated at the head — precision about Go's sequential
-// case testing is unnecessary for a may-analysis.
-func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, succ *cfgNode) *cfgNode {
-	label := b.takeLabel()
-	head := b.newNode()
-	if tag != nil {
-		head.payload = append(head.payload, tag)
-	}
-	if assign != nil {
-		head.payload = append(head.payload, assign)
-	}
-	b.breakables = append(b.breakables, breakable{label, succ, nil})
-	hasDefault := false
-	next := succ // fallthrough target beyond the clause being built
-	for i := len(body.List) - 1; i >= 0; i-- {
-		cc := body.List[i].(*ast.CaseClause)
-		if cc.List == nil {
-			hasDefault = true
-		}
-		for _, e := range cc.List {
-			head.payload = append(head.payload, e)
-		}
-		saved := b.fallTarget
-		b.fallTarget = next
-		bodyE := b.stmtList(cc.Body, succ)
-		b.fallTarget = saved
-		next = bodyE
-		head.succs = append(head.succs, bodyE)
-	}
-	b.breakables = b.breakables[:len(b.breakables)-1]
-	if !hasDefault {
-		head.succs = append(head.succs, succ)
-	}
-	if init != nil {
-		return b.stmt(init, head)
-	}
-	return head
-}
-
 // --- use/def extraction ------------------------------------------------------
 
-func (n *cfgNode) computeUseDef(info *types.Info, isTracked func(*types.Var) bool) {
-	n.use, n.def = make(varSet), make(varSet)
+func computeUseDef(n *CFGNode, info *types.Info, isTracked func(*types.Var) bool) *liveFacts {
+	f := &liveFacts{use: make(varSet), def: make(varSet)}
 	track := func(id *ast.Ident) *types.Var {
 		obj := info.Defs[id]
 		if obj == nil {
@@ -360,7 +143,7 @@ func (n *cfgNode) computeUseDef(info *types.Info, isTracked func(*types.Var) boo
 				ast.Inspect(x.Body, func(y ast.Node) bool {
 					if id, ok := y.(*ast.Ident); ok {
 						if v := track(id); v != nil && (v.Pos() < x.Pos() || v.Pos() > x.End()) {
-							n.use[v] = struct{}{}
+							f.use[v] = struct{}{}
 						}
 					}
 					return true
@@ -368,7 +151,7 @@ func (n *cfgNode) computeUseDef(info *types.Info, isTracked func(*types.Var) boo
 				return false
 			case *ast.Ident:
 				if v := track(x); v != nil {
-					n.use[v] = struct{}{}
+					f.use[v] = struct{}{}
 				}
 			}
 			return true
@@ -379,16 +162,16 @@ func (n *cfgNode) computeUseDef(info *types.Info, isTracked func(*types.Var) boo
 	lhs := func(e ast.Expr, compound bool) {
 		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
 			if v := track(id); v != nil {
-				n.def[v] = struct{}{}
+				f.def[v] = struct{}{}
 				if compound {
-					n.use[v] = struct{}{}
+					f.use[v] = struct{}{}
 				}
 			}
 			return
 		}
 		addUses(e)
 	}
-	for _, p := range n.payload {
+	for _, p := range n.Payload {
 		switch s := p.(type) {
 		case *ast.AssignStmt:
 			for _, r := range s.Rhs {
@@ -412,7 +195,7 @@ func (n *cfgNode) computeUseDef(info *types.Info, isTracked func(*types.Var) boo
 					}
 					for _, name := range vs.Names {
 						if v := track(name); v != nil {
-							n.def[v] = struct{}{}
+							f.def[v] = struct{}{}
 						}
 					}
 				}
@@ -429,4 +212,5 @@ func (n *cfgNode) computeUseDef(info *types.Info, isTracked func(*types.Var) boo
 			addUses(p)
 		}
 	}
+	return f
 }

@@ -6,36 +6,53 @@ import (
 )
 
 // Suppressions: a `//skyway:allow check1 check2 — justification` comment
+// (or the paren form `//skyway:allow(check1,check2) — justification`)
 // silences the named checks on its own line (inline form) and on the line
 // directly below (standalone form). Everything after an em dash or a "--"
-// separator is the human justification; review policy requires one.
+// separator is the human justification. Review policy requires one, and the
+// framework enforces it: a directive with no justification still
+// suppresses, but RunAll reports it as a "suppression" finding so an
+// unexplained allow can never land silently.
 
 const allowPrefix = "//skyway:allow"
 
-// suppressionIndex maps file -> line -> the set of allowed check names.
-type suppressionIndex map[string]map[int]map[string]bool
+// allowDirective is one parsed skyway:allow comment.
+type allowDirective struct {
+	checks    []string
+	justified bool
+	pos       token.Pos
+}
+
+// suppressionIndex maps file -> line -> the set of allowed check names, and
+// keeps the parsed directives for the justification audit.
+type suppressionIndex struct {
+	lines      map[string]map[int]map[string]bool
+	directives []allowDirective
+}
 
 // suppressionsOf scans a package's comments for skyway:allow directives.
 func suppressionsOf(pkg *Package) suppressionIndex {
-	idx := make(suppressionIndex)
+	idx := suppressionIndex{lines: make(map[string]map[int]map[string]bool)}
 	for _, f := range pkg.Syntax {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				checks := parseAllow(c.Text)
-				if len(checks) == 0 {
+				d, ok := parseAllow(c.Text)
+				if !ok {
 					continue
 				}
+				d.pos = c.Pos()
+				idx.directives = append(idx.directives, d)
 				pos := pkg.Fset.Position(c.Pos())
-				lines := idx[pos.Filename]
+				lines := idx.lines[pos.Filename]
 				if lines == nil {
 					lines = make(map[int]map[string]bool)
-					idx[pos.Filename] = lines
+					idx.lines[pos.Filename] = lines
 				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					if lines[line] == nil {
 						lines[line] = make(map[string]bool)
 					}
-					for _, name := range checks {
+					for _, name := range d.checks {
 						lines[line][name] = true
 					}
 				}
@@ -46,24 +63,75 @@ func suppressionsOf(pkg *Package) suppressionIndex {
 }
 
 func (idx suppressionIndex) allows(check string, pos token.Position) bool {
-	return idx[pos.Filename][pos.Line][check]
+	return idx.lines[pos.Filename][pos.Line][check]
 }
 
-// parseAllow extracts the check names from one comment, or nil.
-func parseAllow(comment string) []string {
+// parseAllow parses one comment into a directive. Accepted forms:
+//
+//	//skyway:allow check1 check2 — justification
+//	//skyway:allow(check1, check2) — justification
+//
+// The justification separator may be an em dash or "--"; in the paren form
+// any non-empty trailing text counts.
+func parseAllow(comment string) (allowDirective, bool) {
+	var d allowDirective
 	if !strings.HasPrefix(comment, allowPrefix) {
-		return nil
+		return d, false
 	}
 	rest := comment[len(allowPrefix):]
-	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		return nil // e.g. //skyway:allowance
+	if strings.HasPrefix(rest, "(") {
+		end := strings.Index(rest, ")")
+		if end < 0 {
+			return d, false
+		}
+		for _, name := range strings.Split(rest[1:end], ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				d.checks = append(d.checks, name)
+			}
+		}
+		d.justified = justificationText(rest[end+1:]) != ""
+		return d, len(d.checks) > 0
 	}
-	var checks []string
-	for _, field := range strings.Fields(rest) {
+	if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return d, false // e.g. //skyway:allowance
+	}
+	fields := strings.Fields(rest)
+	for i, field := range fields {
 		if field == "—" || field == "--" {
+			d.justified = len(fields) > i+1
 			break
 		}
-		checks = append(checks, field)
+		d.checks = append(d.checks, field)
 	}
-	return checks
+	return d, len(d.checks) > 0
+}
+
+// justificationText strips a leading separator and surrounding space.
+func justificationText(s string) string {
+	s = strings.TrimSpace(s)
+	for _, sep := range []string{"—", "--"} {
+		s = strings.TrimSpace(strings.TrimPrefix(s, sep))
+	}
+	return s
+}
+
+// SuppressionAnalyzerName labels the framework's own findings about
+// malformed suppressions; it is not a runnable analyzer.
+const SuppressionAnalyzerName = "suppression"
+
+// auditSuppressions reports each directive with no justification. The
+// finding is attributed to the pseudo-analyzer "suppression" and cannot
+// itself be suppressed.
+func auditSuppressions(pkg *Package, idx suppressionIndex, report func(Finding)) {
+	for _, d := range idx.directives {
+		if d.justified {
+			continue
+		}
+		report(Finding{
+			Analyzer: SuppressionAnalyzerName,
+			Pos:      pkg.Fset.Position(d.pos),
+			Message: "skyway:allow(" + strings.Join(d.checks, ",") +
+				") has no justification; append one after an em dash or \"--\" so the exemption is auditable",
+		})
+	}
 }

@@ -1,0 +1,80 @@
+package framework
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseAllowForms(t *testing.T) {
+	cases := []struct {
+		comment   string
+		checks    []string
+		justified bool
+		ok        bool
+	}{
+		{"//skyway:allow staleaddr — pinned buffer space", []string{"staleaddr"}, true, true},
+		{"//skyway:allow a b -- two checks, one reason", []string{"a", "b"}, true, true},
+		{"//skyway:allow wiretaint", []string{"wiretaint"}, false, true},
+		{"//skyway:allow wiretaint —", []string{"wiretaint"}, false, true},
+		{"//skyway:allow(wiretaint) — encode path is trusted", []string{"wiretaint"}, true, true},
+		{"//skyway:allow(wiretaint, atomicmix) reason text", []string{"wiretaint", "atomicmix"}, true, true},
+		{"//skyway:allow(atomicmix)", []string{"atomicmix"}, false, true},
+		{"//skyway:allow()", nil, false, false},
+		{"//skyway:allowance n", nil, false, false},
+		{"// not a directive", nil, false, false},
+	}
+	for _, c := range cases {
+		d, ok := parseAllow(c.comment)
+		if ok != c.ok {
+			t.Errorf("%q: ok = %v, want %v", c.comment, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if !reflect.DeepEqual(d.checks, c.checks) {
+			t.Errorf("%q: checks = %v, want %v", c.comment, d.checks, c.checks)
+		}
+		if d.justified != c.justified {
+			t.Errorf("%q: justified = %v, want %v", c.comment, d.justified, c.justified)
+		}
+	}
+}
+
+// TestUnjustifiedSuppressionFinding: an allow with no reason still
+// suppresses the target check but surfaces as a "suppression" finding, so
+// it cannot land silently.
+func TestUnjustifiedSuppressionFinding(t *testing.T) {
+	pkg := loadSrc(t, `package p
+
+func f() int {
+	//skyway:allow(testcheck)
+	return 1
+}
+
+func g() int {
+	//skyway:allow testcheck — g is exempt because this is the justified fixture case
+	return 2
+}
+`)
+	idx := suppressionsOf(pkg)
+	if len(idx.directives) != 2 {
+		t.Fatalf("parsed %d directives, want 2", len(idx.directives))
+	}
+	var audit []Finding
+	auditSuppressions(pkg, idx, func(f Finding) { audit = append(audit, f) })
+	if len(audit) != 1 {
+		t.Fatalf("audit produced %d findings, want 1 (only the unjustified allow): %v", len(audit), audit)
+	}
+	if audit[0].Analyzer != SuppressionAnalyzerName {
+		t.Errorf("audit finding attributed to %q, want %q", audit[0].Analyzer, SuppressionAnalyzerName)
+	}
+	// Both directives must still suppress on their own line and the next.
+	for _, d := range idx.directives {
+		pos := pkg.Fset.Position(d.pos)
+		pos.Line++
+		if !idx.allows("testcheck", pos) {
+			t.Errorf("directive at %v does not suppress the line below", pkg.Fset.Position(d.pos))
+		}
+	}
+}

@@ -287,6 +287,7 @@ func (w *Writer) targetSize(obj heap.Addr, k *klass.Klass) (uint32, error) {
 		if !k.IsArray {
 			return k.Size, nil
 		}
+		//skyway:allow wiretaint — encode path: obj lives in the local heap, so its length header was written by this process's allocator, not read off the wire
 		return k.InstanceBytes(rt.Heap.ArrayLen(obj)), nil
 	}
 	tk, err := w.targetKlassOf(k)
@@ -294,6 +295,7 @@ func (w *Writer) targetSize(obj heap.Addr, k *klass.Klass) (uint32, error) {
 		return 0, err
 	}
 	if tk.IsArray {
+		//skyway:allow wiretaint — encode path: obj lives in the local heap, so its length header was written by this process's allocator, not read off the wire
 		return tk.InstanceBytes(rt.Heap.ArrayLen(obj)), nil
 	}
 	return tk.Size, nil

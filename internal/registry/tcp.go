@@ -63,6 +63,11 @@ func writeStr(w io.Writer, s string) error {
 	return err
 }
 
+// maxViewEntries bounds the entry count a view response may claim: a
+// corrupt or hostile peer must not be able to drive map preallocation (or
+// panic make with a negative count) before the entries are even read.
+const maxViewEntries = 1 << 20
+
 func readStr(r io.Reader) (string, error) {
 	var n [4]byte
 	if _, err := io.ReadFull(r, n[:]); err != nil {
@@ -387,6 +392,9 @@ func (c *TCPClient) RequestView() (map[string]int32, error) {
 		n, err := readI32(r)
 		if err != nil {
 			return err
+		}
+		if n < 0 || n > maxViewEntries {
+			return fmt.Errorf("registry: view entry count %d out of range", n)
 		}
 		out = make(map[string]int32, n)
 		for i := int32(0); i < n; i++ {
