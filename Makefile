@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet skywayvet vet-taint sarif lint-fixtures race race-parallel verify chaos fuzz-smoke check check-parallel bench-json bench-cmp
+.PHONY: build test vet skywayvet vet-taint sarif lint-fixtures race race-parallel verify chaos cluster-test fuzz-smoke check check-parallel bench-json bench-cmp
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,15 @@ verify:
 chaos:
 	SKYWAY_VERIFY=1 $(GO) test -race -run 'Chaos|Fault|Torn|TaskDie|FetchSlow|Exchange|Dial' \
 		./internal/fault/ ./internal/dataflow/ ./internal/registry/ ./internal/core/
+
+# Real multi-process cluster over loopback TCP: the test binary is the
+# driver (registry daemon included) and spawns executor block-server
+# processes via its re-exec trampoline; every shuffle block crosses real
+# sockets twice. Includes the transport conformance suite and the TCP
+# chaos matrix.
+cluster-test:
+	$(GO) test -race -run 'TestClusterWordCountOverTCPProcesses|TestTCPChaosMatrix|TestConformance|TestTornStream|TestSlowPeer|TestDialFailpoint|TestPooled' \
+		./internal/dataflow/ ./internal/transport/ ./internal/transport/tcp/
 
 # Native fuzzing, smoke duration per target (override FUZZTIME for a soak).
 FUZZTIME ?= 30s

@@ -20,6 +20,8 @@ import (
 func (c *Cluster) Broadcast(root heap.Addr) ([]heap.Addr, metrics.Breakdown, error) {
 	var bd metrics.Breakdown
 	c.shuffleStart()
+	c.broadcastSeq++
+	seq := c.broadcastSeq
 
 	start := time.Now()
 	var buf bytes.Buffer
@@ -35,19 +37,32 @@ func (c *Cluster) Broadcast(root heap.Addr) ([]heap.Addr, metrics.Breakdown, err
 	bd.ShuffleBytes = int64(len(payload)) * int64(c.Workers())
 	bd.RemoteBytes = bd.ShuffleBytes
 
+	// Publish through the transport: in process this parks the payload for
+	// zero measured cost; over TCP it really ships a copy to every executor
+	// server, and the publish time lands in the write-I/O column.
+	pubTime, err := c.Transport.Broadcast(seq, payload)
+	if err != nil {
+		return nil, bd, fmt.Errorf("dataflow: broadcast publish: %w", err)
+	}
+	bd.WriteIO = c.Transport.WriteCost(0, pubTime)
+
 	// Every worker decodes its own copy — concurrently when the cluster is
 	// parallel (each writes only its own out slot and its own runtime).
 	out := make([]heap.Addr, c.Workers())
 	rbd, err := c.runPerExecutor("broadcast", func(ex *Executor) (taskResult, error) {
 		var res taskResult
+		copyB, fetchTime, err := c.Transport.FetchBroadcast(seq, ex.ID)
+		if err != nil {
+			return res, fmt.Errorf("fetch broadcast: %w", err)
+		}
 		start := time.Now()
-		dec := c.Codec.NewDecoder(ex.RT, bytes.NewReader(payload))
+		dec := c.Codec.NewDecoder(ex.RT, bytes.NewReader(copyB))
 		got, err := dec.Read()
 		if err != nil {
 			return res, fmt.Errorf("deserialize: %w", err)
 		}
 		res.bd.Deser = time.Since(start)
-		res.bd.ReadIO = c.Model.NetTime(int64(len(payload)))
+		res.bd.ReadIO = c.Transport.BroadcastCost(int64(len(copyB)), fetchTime)
 		out[ex.ID] = got
 		res.wall = res.bd.Deser + res.bd.ReadIO
 		c.sampleHeap(ex)

@@ -24,6 +24,7 @@ import (
 	"skyway/internal/obs"
 	"skyway/internal/registry"
 	"skyway/internal/serial"
+	"skyway/internal/transport"
 	"skyway/internal/vm"
 )
 
@@ -47,6 +48,17 @@ type Config struct {
 	// ones (network stays modelled — the cluster is one process). Useful
 	// for validating the cost model against a real filesystem.
 	SpillDir string
+	// Transport, when set, replaces the default in-process block exchange
+	// (netsim.NewLocalTransport over Model and SpillDir) — e.g. a
+	// transport/tcp.Transport moving blocks through executor server
+	// processes over real sockets. When set, Model and SpillDir only
+	// matter if the transport itself consults a cost model.
+	Transport transport.Transport
+	// RegistryClient, when set, supplies each runtime's connection to the
+	// type registry (one fresh client per runtime — a TCP cluster gives
+	// every runtime its own registry.TCPClient). Default: in-process
+	// clients against the cluster's own Registry.
+	RegistryClient func() (registry.Client, error)
 	// PartitionsPerWorker sets how many shuffle partitions each executor
 	// hosts (Spark defaults to several partitions per core); the total
 	// partition count is Workers × PartitionsPerWorker. Default 2.
@@ -84,6 +96,10 @@ type Cluster struct {
 	// Codec is the active data serializer (spark.serializer).
 	Codec serial.Codec
 
+	// Transport is the byte-moving layer shuffle blocks and broadcast
+	// payloads travel through (netsim.LocalTransport by default).
+	Transport transport.Transport
+
 	// PeakHeap tracks the maximum per-executor heap usage, sampled at
 	// every task completion, for the §5.2 memory-overhead experiment.
 	// Guarded by peakMu; read it only after a run returns.
@@ -93,9 +109,10 @@ type Cluster struct {
 	// local/remote fetches); safe for concurrent tasks.
 	Traffic netsim.Traffic
 
-	// SpillDir and shuffleSeq implement optional real disk spilling.
-	SpillDir   string
-	shuffleSeq int
+	// shuffleSeq and broadcastSeq number transport rounds so a transport
+	// with persistent storage never confuses two rounds' payloads.
+	shuffleSeq   int
+	broadcastSeq int
 
 	partitionsPerWorker int
 	parallelTasks       int
@@ -142,7 +159,14 @@ func NewCluster(cp *klass.Path, cfg Config, codec serial.Codec) (*Cluster, error
 		cfg.Model.Trace = obs.NewTracer("fabric")
 	}
 	reg := registry.NewRegistry()
-	driver, err := vm.NewRuntime(cp, vm.Options{Name: "driver", Registry: registry.InProc{R: reg}})
+	if cfg.RegistryClient == nil {
+		cfg.RegistryClient = func() (registry.Client, error) { return registry.InProc{R: reg}, nil }
+	}
+	regClient, err := cfg.RegistryClient()
+	if err != nil {
+		return nil, err
+	}
+	driver, err := vm.NewRuntime(cp, vm.Options{Name: "driver", Registry: regClient})
 	if err != nil {
 		return nil, err
 	}
@@ -157,16 +181,23 @@ func NewCluster(cp *klass.Path, cfg Config, codec serial.Codec) (*Cluster, error
 	if cfg.ParallelTasks < 0 || cfg.ParallelTasks > cfg.Workers {
 		cfg.ParallelTasks = cfg.Workers
 	}
+	if cfg.Transport == nil {
+		cfg.Transport = netsim.NewLocalTransport(cfg.Model, cfg.SpillDir)
+	}
 	c := &Cluster{
 		CP: cp, Reg: reg, Driver: driver, Model: cfg.Model, Codec: codec,
-		SpillDir: cfg.SpillDir, partitionsPerWorker: cfg.PartitionsPerWorker,
+		Transport: cfg.Transport, partitionsPerWorker: cfg.PartitionsPerWorker,
 		parallelTasks: cfg.ParallelTasks, concurrentSenders: cfg.ConcurrentSenders,
 	}
 	for i := 0; i < cfg.Workers; i++ {
+		rc, err := cfg.RegistryClient()
+		if err != nil {
+			return nil, err
+		}
 		rt, err := vm.NewRuntime(cp, vm.Options{
 			Name:     fmt.Sprintf("worker-%d", i),
 			Heap:     cfg.Heap,
-			Registry: registry.InProc{R: reg},
+			Registry: rc,
 		})
 		if err != nil {
 			return nil, err

@@ -5,8 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -16,6 +14,7 @@ import (
 	"skyway/internal/heap"
 	"skyway/internal/metrics"
 	"skyway/internal/obs"
+	"skyway/internal/transport"
 )
 
 // Emit sends one record to a destination shuffle partition during the map
@@ -44,72 +43,42 @@ type outRecord struct {
 	h   *gc.Handle
 }
 
-// blockStore is the shuffle block manager: serialized (mapper, partition)
-// blocks land here on the map side and are taken — exactly once — by the
-// partition's owning reducer. Parallel map and reduce tasks touch the store
-// from concurrent goroutines, so access is mutex-guarded.
-type blockStore struct {
-	mu     sync.Mutex
-	blocks map[blockKey][]byte
-}
-
-type blockKey struct{ src, dst int }
-
-func newBlockStore() *blockStore {
-	return &blockStore{blocks: make(map[blockKey][]byte)}
-}
-
-func (s *blockStore) put(src, dst int, block []byte) {
-	s.mu.Lock()
-	s.blocks[blockKey{src, dst}] = block
-	s.mu.Unlock()
-}
-
-// get returns the block without removing it, or nil when absent (empty
-// block, or spilled to a real file). The block stays in the store until the
-// reducer confirms a successful decode with drop, so a fetch whose copy was
-// damaged in flight can be retried from the intact stored bytes.
-func (s *blockStore) get(src, dst int) []byte {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.blocks[blockKey{src, dst}]
-}
-
-// drop releases a block the reducer has fully decoded.
-func (s *blockStore) drop(src, dst int) {
-	s.mu.Lock()
-	delete(s.blocks, blockKey{src, dst})
-	s.mu.Unlock()
-}
-
 // RunShuffle executes one full shuffle phase over the cluster and returns
 // its cost breakdown:
 //
 //	compute: Produce + sort + Consume (measured)
 //	ser:     encoding each (mapper, reducer) block (measured)
-//	writeIO: spilling blocks to shuffle files (modelled from bytes)
-//	readIO:  fetching blocks, split local/remote (modelled from bytes)
+//	writeIO: publishing blocks to the transport (modelled from bytes, or
+//	         measured when the transport does real I/O)
+//	readIO:  fetching blocks, split local/remote (modelled or measured)
 //	deser:   decoding fetched blocks on the reducer (measured)
 //
-// The map side and the reduce side are stages separated by a barrier; with
-// a parallel cluster, each stage's executor tasks run on concurrent
-// goroutines and the stage's wall-clock contribution is its slowest task
-// (metrics.Breakdown.Wall), while the components above still sum across
-// executors.
+// Blocks move through the cluster's Transport: the in-process simulator
+// stores them in memory (or spill files) and prices I/O with the cost
+// model; the TCP transport moves them through executor block servers and
+// charges measured socket time. The map side and the reduce side are stages
+// separated by a barrier; with a parallel cluster, each stage's executor
+// tasks run on concurrent goroutines and the stage's wall-clock
+// contribution is its slowest task (metrics.Breakdown.Wall), while the
+// components above still sum across executors.
 func (c *Cluster) RunShuffle(spec ShuffleSpec) (metrics.Breakdown, error) {
 	p := c.NumPartitions()
 	c.shuffleStart()
 	c.shuffleSeq++
-	store := newBlockStore()
+	sh, err := c.Transport.NewShuffle(c.shuffleSeq)
+	if err != nil {
+		return metrics.Breakdown{}, fmt.Errorf("dataflow: transport: %w", err)
+	}
+	defer sh.Close()
 
 	bd, err := c.runPerExecutor("map", func(ex *Executor) (taskResult, error) {
-		return c.mapTask(ex, spec, store, p)
+		return c.mapTask(ex, spec, sh, p)
 	})
 	if err != nil {
 		return bd, err
 	}
 	rbd, err := c.runPerExecutor("reduce", func(ex *Executor) (taskResult, error) {
-		return c.reduceTask(ex, spec, store, p)
+		return c.reduceTask(ex, spec, sh, p)
 	})
 	bd.Add(rbd)
 	return bd, err
@@ -119,7 +88,7 @@ func (c *Cluster) RunShuffle(spec ShuffleSpec) (metrics.Breakdown, error) {
 // Serialization fans out over senderSlots concurrent encoder streams when
 // the codec supports it — the §4.2 multi-threaded sender path, with several
 // streams claiming baddr words out of this executor's heap at once.
-func (c *Cluster) mapTask(ex *Executor, spec ShuffleSpec, store *blockStore, p int) (taskResult, error) {
+func (c *Cluster) mapTask(ex *Executor, spec ShuffleSpec, sh transport.Shuffle, p int) (taskResult, error) {
 	var res taskResult
 	out := make([][]outRecord, p)
 
@@ -220,31 +189,23 @@ func (c *Cluster) mapTask(ex *Executor, spec ShuffleSpec, store *blockStore, p i
 		}
 	}
 
-	// Spill to shuffle files: modelled by default, or real files when
-	// Config.SpillDir is set (then the fetch goes through the file).
+	// Publish blocks to the transport. The transport measures whatever I/O
+	// it really performs (spill files, sockets); WriteCost folds that and
+	// the modelled remainder into the write-I/O charge.
 	var written int64
+	var putTime time.Duration
 	for dst := 0; dst < p; dst++ {
+		if len(blocks[dst]) == 0 {
+			continue
+		}
 		written += int64(len(blocks[dst]))
-	}
-	if c.SpillDir == "" {
-		res.bd.WriteIO = c.Model.WriteTime(written)
-		for dst := 0; dst < p; dst++ {
-			if len(blocks[dst]) > 0 {
-				store.put(ex.ID, dst, blocks[dst])
-			}
+		d, err := sh.Put(ex.ID, dst, blocks[dst])
+		if err != nil {
+			return res, fmt.Errorf("publish block (%d→%d): %w", ex.ID, dst, err)
 		}
-	} else {
-		start := time.Now()
-		for dst := 0; dst < p; dst++ {
-			if len(blocks[dst]) == 0 {
-				continue
-			}
-			if err := os.WriteFile(c.spillPath(ex.ID, dst), blocks[dst], 0o644); err != nil {
-				return res, fmt.Errorf("spill: %w", err)
-			}
-		}
-		res.bd.WriteIO = time.Since(start)
+		putTime += d
 	}
+	res.bd.WriteIO = c.Transport.WriteCost(written, putTime)
 	c.Traffic.AddWrite(written)
 	res.bd.ShuffleBytes = written
 	// The task's elapsed time: concurrent sender streams overlap, so the
@@ -284,18 +245,32 @@ func (c *Cluster) decodeBlock(ex *Executor, block []byte) (hs []*gc.Handle, free
 // hosts, pulling that partition's block from every map worker, then
 // deserializes and consumes the records.
 //
-// Fetched blocks run the degradation ladder: a block whose decode fails (a
-// torn transfer, a checksum mismatch, any *core.DecodeError) is re-fetched
-// from the intact stored bytes up to maxFetchAttempts times; if every
-// attempt fails, the mapper is excluded and the stage aborts with a
+// Fetched blocks run the degradation ladder: a block whose fetch or decode
+// fails (a torn transfer, a checksum mismatch, any *core.DecodeError) is
+// re-fetched from the intact stored bytes up to maxFetchAttempts times; if
+// every attempt fails, the mapper is excluded and the stage aborts with a
 // StageAbortError. Every exit path releases the handles and input buffers
-// it acquired, so an aborted stage leaves no pins behind.
-func (c *Cluster) reduceTask(ex *Executor, spec ShuffleSpec, store *blockStore, p int) (taskResult, error) {
+// it acquired, so an aborted stage leaves no pins behind — and every exit
+// path, the aborts included, charges the read I/O its fetches really did
+// (attempted bytes and measured time, not just the blocks that decoded).
+func (c *Cluster) reduceTask(ex *Executor, spec ShuffleSpec, sh transport.Shuffle, p int) (taskResult, error) {
 	var res taskResult
 	w := c.Workers()
-	var localB, remoteB int64
+	var localB, remoteB int64 // unique bytes consumed (Figure 3(b) accounting)
+	var triedLocal, triedRemote int64
+	var fetchTime time.Duration // measured I/O across every attempt
+	var slowPenalty time.Duration
 	var handles []*gc.Handle
 	var freers []interface{ Free() }
+	// chargeRead prices the task's fetches. It runs on every exit path:
+	// re-fetch attempts beyond the first do real I/O too, and an aborted
+	// stage must not understate the read I/O it consumed before giving up.
+	chargeRead := func() {
+		res.bd.LocalBytes = localB
+		res.bd.RemoteBytes = remoteB
+		c.Traffic.AddFetch(localB, remoteB)
+		res.bd.ReadIO = c.Transport.FetchCost(triedLocal, triedRemote, fetchTime) + slowPenalty
+	}
 	fail := func(err error) (taskResult, error) {
 		for _, h := range handles {
 			h.Release()
@@ -303,35 +278,30 @@ func (c *Cluster) reduceTask(ex *Executor, spec ShuffleSpec, store *blockStore, 
 		for _, f := range freers {
 			f.Free()
 		}
+		chargeRead()
 		return res, err
 	}
 
-	var fetchTime time.Duration
-	var slowPenalty time.Duration
 	for dst := 0; dst < p; dst++ {
 		if c.OwnerOf(dst) != ex.ID {
 			continue
 		}
 		for src := 0; src < w; src++ {
 			// fetch returns a copy-on-damage view of the stored block; the
-			// store (or spill file) keeps the original until drop.
+			// transport keeps the original until Drop.
 			fetch := func() ([]byte, error) {
-				block := store.get(src, dst)
-				if block == nil && c.SpillDir != "" {
-					// Fetch the real block file (measured read I/O).
-					start := time.Now()
-					b, err := os.ReadFile(c.spillPath(src, dst))
-					if err != nil {
-						if os.IsNotExist(err) {
-							return nil, nil
-						}
-						return nil, fmt.Errorf("fetch: %w", err)
-					}
-					fetchTime += time.Since(start)
-					block = b
+				block, d, err := sh.Fetch(src, dst)
+				if err != nil {
+					return nil, err
 				}
+				fetchTime += d
 				if len(block) == 0 {
 					return nil, nil
+				}
+				if src == ex.ID {
+					triedLocal += int64(len(block))
+				} else {
+					triedRemote += int64(len(block))
 				}
 				// Failpoint: the fetched copy is torn in flight. Only the
 				// copy is damaged — the stored block stays intact, so a
@@ -353,7 +323,14 @@ func (c *Cluster) reduceTask(ex *Executor, spec ShuffleSpec, store *blockStore, 
 			for attempt := 1; attempt <= maxFetchAttempts; attempt++ {
 				block, err := fetch()
 				if err != nil {
-					return fail(err)
+					// A failed fetch (a torn stream the transport's own
+					// framing rejected, a dead peer) rides the same ladder
+					// as a failed decode: re-fetch, then exclude.
+					lastErr = fmt.Errorf("fetch block (%d→%d): %w", src, dst, err)
+					if attempt < maxFetchAttempts {
+						ctrRefetches.Inc()
+					}
+					continue
 				}
 				if block == nil {
 					decoded = true // empty block: nothing to do
@@ -391,10 +368,7 @@ func (c *Cluster) reduceTask(ex *Executor, spec ShuffleSpec, store *blockStore, 
 				})
 			}
 			if blockLen > 0 {
-				store.drop(src, dst)
-				if c.SpillDir != "" {
-					os.Remove(c.spillPath(src, dst))
-				}
+				sh.Drop(src, dst)
 				if src == ex.ID {
 					localB += int64(blockLen)
 				} else {
@@ -403,17 +377,7 @@ func (c *Cluster) reduceTask(ex *Executor, spec ShuffleSpec, store *blockStore, 
 			}
 		}
 	}
-	res.bd.LocalBytes = localB
-	res.bd.RemoteBytes = remoteB
-	c.Traffic.AddFetch(localB, remoteB)
-	if c.SpillDir == "" {
-		res.bd.ReadIO = c.Model.FetchTime(localB, remoteB)
-	} else {
-		// Disk reads are measured; the remote hop stays modelled (the
-		// simulated cluster shares one machine).
-		res.bd.ReadIO = fetchTime + c.Model.NetTime(remoteB)
-	}
-	res.bd.ReadIO += slowPenalty
+	chargeRead()
 
 	start := time.Now()
 	recs := make([]heap.Addr, len(handles))
@@ -422,7 +386,13 @@ func (c *Cluster) reduceTask(ex *Executor, spec ShuffleSpec, store *blockStore, 
 	}
 	if spec.Consume != nil {
 		if err := spec.Consume(ex, recs); err != nil {
-			return fail(fmt.Errorf("consume: %w", err))
+			for _, h := range handles {
+				h.Release()
+			}
+			for _, f := range freers {
+				f.Free()
+			}
+			return res, fmt.Errorf("consume: %w", err)
 		}
 	}
 	res.bd.Compute = time.Since(start)
@@ -444,12 +414,6 @@ func (c *Cluster) reduceTask(ex *Executor, spec ShuffleSpec, store *blockStore, 
 }
 
 func isEOF(err error) bool { return errors.Is(err, io.EOF) }
-
-// spillPath names the shuffle block file for one (mapper, reducer) pair of
-// the current shuffle.
-func (c *Cluster) spillPath(src, dst int) string {
-	return filepath.Join(c.SpillDir, fmt.Sprintf("shuffle-%d-%d-%d.block", c.shuffleSeq, src, dst))
-}
 
 // Compute runs fn on every executor under the computation timer, outside
 // any shuffle — for per-partition setup and iteration bookkeeping. With a

@@ -51,6 +51,18 @@ const (
 	// to a fabric fetch — congestion on the modelled wire.
 	NetsimFetchSlow = "netsim.fetch.slow"
 
+	// TransportDial fails a TCP transport dial to a peer block server with
+	// an injected error, exercising the pool's retry/backoff path.
+	TransportDial = "transport.dial"
+	// TransportStreamTorn flips one byte of a received transport data
+	// frame before its CRC-32C check — a torn stream, rejected at the
+	// framing layer and surfaced as a *core.DecodeError.
+	TransportStreamTorn = "transport.stream.torn"
+	// TransportPeerSlow stalls the receiver (arg duration, default 1ms)
+	// before it acknowledges a transport data frame — a slow peer, which
+	// the sender's credit window turns into real backpressure.
+	TransportPeerSlow = "transport.peer.slow"
+
 	// GCAllocFail makes an allocation miss its fast path at the chosen
 	// safepoint, forcing a collection there; with arg=oom the allocation
 	// fails outright with ErrOOM.
@@ -75,6 +87,9 @@ func Catalog() []string {
 		DataflowFetchSlow,
 		DataflowTaskDie,
 		NetsimFetchSlow,
+		TransportDial,
+		TransportStreamTorn,
+		TransportPeerSlow,
 		GCAllocFail,
 	}
 }

@@ -24,16 +24,22 @@ var (
 	ctrRemoteReverses = obs.NewCounter("skyway_registry_view_reverses_total", "Worker-view misses that issued a remote REVERSE.")
 )
 
-// Registry is the driver-side complete type registry.
+// Registry is the driver-side complete type registry. Alongside the type
+// numbering it carries the cluster's peer advertisements: executor block
+// servers announce their shuffle listen addresses here, and the driver's
+// transport discovers them with Peers — the registry doubles as the
+// cluster's one piece of coordination state, so a TCP cluster needs no
+// second discovery service.
 type Registry struct {
 	mu    sync.RWMutex
 	ids   map[string]int32
 	names []string // index = ID
+	peers map[int32]string
 }
 
 // NewRegistry returns an empty driver registry.
 func NewRegistry() *Registry {
-	return &Registry{ids: make(map[string]int32)}
+	return &Registry{ids: make(map[string]int32), peers: make(map[int32]string)}
 }
 
 // Populate registers the driver JVM's own loaded classes at startup
@@ -103,6 +109,29 @@ func (r *Registry) Names() []string {
 	return out
 }
 
+// Announce records an executor block server's shuffle address under its
+// executor ID ("ANNOUNCE"). Re-announcing overwrites — an executor that
+// restarted on a new port simply advertises again.
+func (r *Registry) Announce(id int32, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.peers == nil {
+		r.peers = make(map[int32]string)
+	}
+	r.peers[id] = addr
+}
+
+// Peers snapshots the advertised executor ID → address map ("PEERS").
+func (r *Registry) Peers() map[int32]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[int32]string, len(r.peers))
+	for id, addr := range r.peers {
+		out[id] = addr
+	}
+	return out
+}
+
 // Client is the worker side's connection to the driver. Implementations:
 // InProc (same-process driver) and TCPClient (remote driver).
 type Client interface {
@@ -138,6 +167,27 @@ func (c InProc) Reverse(id int32) (string, error) {
 
 // Close implements Client.
 func (c InProc) Close() error { return nil }
+
+// Announce implements PeerClient.
+func (c InProc) Announce(id int32, addr string) error {
+	c.R.Announce(id, addr)
+	return nil
+}
+
+// Peers implements PeerClient.
+func (c InProc) Peers() (map[int32]string, error) { return c.R.Peers(), nil }
+
+// PeerClient is the optional Client capability behind peer discovery:
+// executor block servers Announce their shuffle listen addresses, and the
+// driver-side transport Peers them back. Both InProc and TCPClient
+// implement it; the capability is separate from Client so registry views
+// (which only translate type IDs) stay unaware of cluster topology.
+type PeerClient interface {
+	// Announce publishes an executor block server's listen address.
+	Announce(id int32, addr string) error
+	// Peers returns the advertised executor ID → address map.
+	Peers() (map[int32]string, error)
+}
 
 // View is the worker's registry view: the local cache of name↔ID mappings
 // (Figure 5's "Registry View"). It consults the client only on misses, so

@@ -22,18 +22,23 @@ import (
 //	op 'V' (REQUEST_VIEW): no payload  → resp: count(u32) {id(i32) name(str)}*
 //	op 'L' (LOOKUP):       name(str)   → resp: id(i32)
 //	op 'R' (REVERSE):      id(i32)     → resp: name(str)
+//	op 'A' (ANNOUNCE):     id(i32) addr(str) → resp: id(i32)
+//	op 'P' (PEERS):        no payload  → resp: count(u32) {id(i32) addr(str)}*
 //	str := len(u32) bytes
 //
 // The hello versions the framing (like the Skyway stream header does):
-// version 2 is the nonce-prefixed framing below; version 1 was the
-// nonce-free framing it replaced. The server severs any connection whose
-// hello does not match its own version, so a mixed-version cluster fails
-// loudly at the first exchange instead of desyncing — without the hello, a
-// v2 server would consume a v1 client's op byte as part of the nonce and
-// both sides would misparse every frame after it. A v1 server reading a v2
-// hello sees an unknown op and severs likewise. Driver and executors are
-// still expected to be upgraded together; the hello turns a skew into a
-// clean connection error rather than crossed type IDs.
+// version 3 adds the peer-advertisement ops (ANNOUNCE/PEERS — executor
+// block servers publish their shuffle listen addresses through the driver's
+// registry, which is how a TCP cluster discovers its peers); version 2 was
+// the nonce-prefixed framing below; version 1 was the nonce-free framing it
+// replaced. The server severs any connection whose hello does not match its
+// own version, so a mixed-version cluster fails loudly at the first
+// exchange instead of desyncing — without the hello, a v2 server would
+// consume a v1 client's op byte as part of the nonce and both sides would
+// misparse every frame after it. A v1 server reading a v2 hello sees an
+// unknown op and severs likewise. Driver and executors are still expected
+// to be upgraded together; the hello turns a skew into a clean connection
+// error rather than crossed type IDs.
 //
 // The nonce makes the client's retry policy safe against replay: every
 // registry operation is idempotent on the server (LookupOrAssign assigns at
@@ -46,11 +51,13 @@ import (
 // connection and retries on a fresh one.
 const (
 	protoMagic   = "SKYR"
-	protoVersion = 2 // nonce-prefixed framing
+	protoVersion = 3 // nonce-prefixed framing + peer advertisement
 
-	opView    = 'V'
-	opLookup  = 'L'
-	opReverse = 'R'
+	opView     = 'V'
+	opLookup   = 'L'
+	opReverse  = 'R'
+	opAnnounce = 'A'
+	opPeers    = 'P'
 )
 
 func writeStr(w io.Writer, s string) error {
@@ -225,6 +232,32 @@ func (s *Server) handle(conn net.Conn) {
 			if err := writeStr(w, name); err != nil {
 				return
 			}
+		case opAnnounce:
+			id, err := readI32(r)
+			if err != nil {
+				return
+			}
+			addr, err := readStr(r)
+			if err != nil {
+				return
+			}
+			s.reg.Announce(id, addr)
+			if err := writeI32(w, id); err != nil {
+				return
+			}
+		case opPeers:
+			peers := s.reg.Peers()
+			if err := writeI32(w, int32(len(peers))); err != nil {
+				return
+			}
+			for id, addr := range peers {
+				if err := writeI32(w, id); err != nil {
+					return
+				}
+				if err := writeStr(w, addr); err != nil {
+					return
+				}
+			}
 		default:
 			return
 		}
@@ -348,8 +381,18 @@ func (c *TCPClient) exchange(op byte, writeReq func(w io.Writer) error, readResp
 				return err
 			}
 		}
-		c.conn.SetDeadline(time.Now().Add(c.timeout))
 		err = func() error {
+			// The per-exchange deadline lives exactly as long as this
+			// attempt: the deferred zero-value reset runs on EVERY return
+			// path, so no exit — a timeout, a torn frame, a nonce mismatch
+			// — can leak an already-expiring deadline into a later exchange
+			// that reuses the connection. (Resetting only on the success
+			// path poisons the next exchange the moment any failure path
+			// keeps the connection: its reads inherit a deadline that has
+			// already passed and fail instantly.)
+			conn := c.conn
+			conn.SetDeadline(time.Now().Add(c.timeout))
+			defer conn.SetDeadline(time.Time{})
 			if _, err := c.w.Write(req.Bytes()); err != nil {
 				return err
 			}
@@ -375,7 +418,6 @@ func (c *TCPClient) exchange(op byte, writeReq func(w io.Writer) error, readResp
 			return readResp(c.r)
 		}()
 		if err == nil {
-			c.conn.SetDeadline(time.Time{})
 			return nil
 		}
 		// The exchange died mid-frame (or answered out of order); the
@@ -449,6 +491,64 @@ func (c *TCPClient) Reverse(id int32) (string, error) {
 		return "", fmt.Errorf("registry: unknown type ID %d", id)
 	}
 	return name, nil
+}
+
+// maxPeerEntries bounds the peer count a PEERS response may claim, with the
+// same full-width pre-validation discipline as maxViewEntries: a corrupt
+// peer must not drive map preallocation before any entry is read.
+const maxPeerEntries = 1 << 16
+
+// Announce implements PeerClient: it publishes an executor block server's
+// shuffle listen address under its executor ID.
+func (c *TCPClient) Announce(id int32, addr string) error {
+	return c.exchange(opAnnounce,
+		func(w io.Writer) error {
+			if err := writeI32(w, id); err != nil {
+				return err
+			}
+			return writeStr(w, addr)
+		},
+		func(r *bufio.Reader) error {
+			echo, err := readI32(r)
+			if err != nil {
+				return err
+			}
+			if echo != id {
+				return fmt.Errorf("registry: ANNOUNCE echoed id %d, want %d", echo, id)
+			}
+			return nil
+		})
+}
+
+// Peers implements PeerClient: the advertised executor ID → address map.
+func (c *TCPClient) Peers() (map[int32]string, error) {
+	var out map[int32]string
+	err := c.exchange(opPeers, nil, func(r *bufio.Reader) error {
+		n, err := readI32(r)
+		if err != nil {
+			return err
+		}
+		if n < 0 || n > maxPeerEntries {
+			return fmt.Errorf("registry: peer entry count %d out of range", n)
+		}
+		out = make(map[int32]string, n)
+		for i := int32(0); i < n; i++ {
+			id, err := readI32(r)
+			if err != nil {
+				return err
+			}
+			addr, err := readStr(r)
+			if err != nil {
+				return err
+			}
+			out[id] = addr
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Close implements Client.

@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"io"
 	"net"
 	"sync"
 	"testing"
@@ -166,5 +167,190 @@ func TestTCPClientRecoversAfterRedial(t *testing.T) {
 	}
 	if name, _ := reg.NameOf(id); name != "c.D" {
 		t.Errorf("recovered lookup assigned %d (%s)", id, name)
+	}
+}
+
+// stallOnceProxy stalls the FIRST accepted connection forever (reading and
+// discarding, answering nothing) and transparently proxies every later
+// connection to the real server at backend. It manufactures the deadline
+// regression's exchange N: an attempt that genuinely times out mid-exchange.
+type stallOnceProxy struct {
+	ln  net.Listener
+	mu  sync.Mutex
+	acc int
+}
+
+func newStallOnceProxy(t *testing.T, backend string) *stallOnceProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &stallOnceProxy{ln: ln}
+	var wg sync.WaitGroup
+	var conns []net.Conn
+	var connsMu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			connsMu.Lock()
+			conns = append(conns, c)
+			connsMu.Unlock()
+			p.mu.Lock()
+			p.acc++
+			n := p.acc
+			p.mu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				if n == 1 {
+					// Exchange N's fate: swallow the request, answer nothing.
+					buf := make([]byte, 256)
+					for {
+						if _, err := c.Read(buf); err != nil {
+							return
+						}
+					}
+				}
+				up, err := net.Dial("tcp", backend)
+				if err != nil {
+					return
+				}
+				connsMu.Lock()
+				conns = append(conns, up)
+				connsMu.Unlock()
+				defer up.Close()
+				done := make(chan struct{})
+				go func() { io.Copy(up, c); up.(*net.TCPConn).CloseWrite(); close(done) }()
+				io.Copy(c, up)
+				<-done
+			}()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		connsMu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		connsMu.Unlock()
+		wg.Wait()
+	})
+	return p
+}
+
+func (p *stallOnceProxy) accepted() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.acc
+}
+
+// TestTimeoutDoesNotPoisonNextExchange is the regression test for the
+// deadline-lifecycle bug: exchange N times out (its attempt's deadline
+// trips), the retry succeeds on a fresh connection, and exchange N+1 reuses
+// that healthy connection AFTER the earlier deadline instant has passed. If
+// any exit path of an attempt leaked its armed deadline instead of resetting
+// it via defer, exchange N+1's first read would fail instantly with a stale
+// i/o timeout and force a spurious redial — observable below as a third
+// accepted connection (or, with the retry budget exhausted, a failed lookup).
+func TestTimeoutDoesNotPoisonNextExchange(t *testing.T) {
+	reg := NewRegistry()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(reg, ln)
+	defer srv.Close()
+	proxy := newStallOnceProxy(t, ln.Addr().String())
+
+	const timeout = 60 * time.Millisecond
+	c, err := Dial(proxy.ln.Addr().String(),
+		WithTimeout(timeout), WithRetries(1), WithBackoff(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Exchange N: the first attempt stalls and must be killed by its own
+	// deadline; the retry lands on a proxied connection and succeeds.
+	start := time.Now()
+	idN, err := c.Lookup("exchange.N")
+	if err != nil {
+		t.Fatalf("Lookup(exchange.N) with one stalled attempt: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < timeout {
+		t.Fatalf("lookup returned in %v, before the %v deadline could have tripped — exchange N never timed out", elapsed, timeout)
+	}
+	if got := proxy.accepted(); got != 2 {
+		t.Fatalf("proxy accepted %d connections after exchange N, want 2 (stalled + retry)", got)
+	}
+
+	// Outlive the timed-out attempt's deadline instant, then run exchange
+	// N+1 on the reused connection.
+	time.Sleep(timeout + 20*time.Millisecond)
+	idN1, err := c.Lookup("exchange.N1")
+	if err != nil {
+		t.Fatalf("Lookup(exchange.N+1) on the reused connection: %v (stale deadline poisoned the exchange)", err)
+	}
+	if idN1 == idN {
+		t.Fatalf("exchange N+1 got exchange N's id %d", idN)
+	}
+	if got := proxy.accepted(); got != 2 {
+		t.Errorf("proxy accepted %d connections after exchange N+1, want still 2 — a leaked deadline forced a redial", got)
+	}
+	if name, _ := reg.NameOf(idN1); name != "exchange.N1" {
+		t.Errorf("exchange N+1 resolved to %q", name)
+	}
+}
+
+// TestServerCloseDuringAcceptStorm hammers a Server with concurrent dials
+// while Close runs, many rounds. Pinned invariants (under -race): no handler
+// goroutine outlives Close (wg.Wait covers the accept window), a connection
+// accepted after Close is severed rather than tracked, and Close returns
+// exactly once with the listener down.
+func TestServerCloseDuringAcceptStorm(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		reg := NewRegistry()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := Serve(reg, ln)
+		addr := ln.Addr().String()
+
+		var dialers sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			dialers.Add(1)
+			go func() {
+				defer dialers.Done()
+				for j := 0; j < 5; j++ {
+					c, err := Dial(addr, WithTimeout(200*time.Millisecond), WithRetries(0))
+					if err != nil {
+						return // listener already down
+					}
+					c.Lookup("storm.Class") // may fail mid-close; must not hang or race
+					c.Close()
+				}
+			}()
+		}
+		// Close concurrently with the dial storm; vary the overlap window.
+		time.Sleep(time.Duration(round%4) * 500 * time.Microsecond)
+		if err := srv.Close(); err != nil {
+			t.Fatalf("round %d: Close: %v", round, err)
+		}
+		dialers.Wait()
+		// The listener must be down: a fresh dial cannot reach a handler.
+		if c, err := Dial(addr, WithTimeout(50*time.Millisecond), WithRetries(0)); err == nil {
+			if _, err := c.Lookup("after.Close"); err == nil {
+				t.Fatalf("round %d: lookup succeeded against a closed server", round)
+			}
+			c.Close()
+		}
 	}
 }

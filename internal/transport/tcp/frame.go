@@ -1,0 +1,292 @@
+// Package tcp is the real-network transport.Transport: shuffle blocks and
+// broadcast payloads move between a driver process and N executor block
+// server processes over length-prefixed, CRC-32C-framed TCP streams.
+//
+// Wire protocol: a connection opens with a fixed hello and then carries
+// frames, one request/response conversation at a time:
+//
+//	hello := "SKWT" ver(u8)
+//	frame := op(u8) len(u32 BE) crc32c(u32 BE) payload
+//
+// The CRC covers the payload, Castagnoli polynomial — the same integrity
+// discipline as Skyway wire v2, applied one layer down: a torn or
+// bit-flipped transfer is rejected at the framing layer, before any of it
+// reaches a decoder, and surfaces as a *core.DecodeError (kind "checksum").
+//
+// Requests (client → server):
+//
+//	'P' PUT        seq(u32) src(u32) dst(u32) total(u64) chunks(u32),
+//	               then chunks × DATA frames  → ACK per DATA, then 'K'
+//	'G' GET        seq(u32) src(u32) dst(u32)
+//	               → 'H' total(u64) chunks(u32) + chunks × DATA (ACK each),
+//	                 or 'N' when the block was never published
+//	'T' DROP       seq(u32) src(u32) dst(u32) → 'K'
+//	'B' BCAST-PUT  seq(u32) total(u64) chunks(u32), then DATA frames → 'K'
+//	'F' BCAST-GET  seq(u32) → 'H' + DATA frames, or 'N'
+//
+//	'D' DATA       idx(u32) bytes — one chunk of a block
+//	'A' ACK        idx(u32)       — receiver's credit grant for chunk idx
+//	'K' OK         no payload
+//	'E' ERR        kind(u8) len(u32) detail — kind 1 marks a decode-shaped
+//	               failure (torn upload), which the client rehydrates as a
+//	               *core.DecodeError so the error keeps its structure across
+//	               the process boundary
+//
+// Flow control: a block travels as DATA frames of at most chunkBytes each,
+// and the sender may have at most window chunks outstanding — it blocks on
+// the receiver's cumulative ACKs before sending more. A slow receiver
+// therefore exerts real backpressure on the sender (and on everything
+// queued behind it on that connection) instead of ballooning kernel socket
+// buffers; the conformance suite pins this with a deliberately slow reader.
+package tcp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"skyway/internal/core"
+	"skyway/internal/fault"
+)
+
+const (
+	helloMagic   = "SKWT"
+	helloVersion = 1
+
+	opPut      = 'P'
+	opGet      = 'G'
+	opDrop     = 'T'
+	opBPut     = 'B'
+	opBGet     = 'F'
+	opHdr      = 'H'
+	opNil      = 'N'
+	opData     = 'D'
+	opAck      = 'A'
+	opOK       = 'K'
+	opErr      = 'E'
+	opShutdown = 'Q'
+)
+
+const (
+	// maxFramePayload caps one frame. A declared length beyond it is
+	// corruption (or a hostile peer), not a big chunk — senders never
+	// produce frames above chunkBytes plus the chunk index word.
+	maxFramePayload = 8 << 20
+	// maxBlockBytes caps a declared block size before any buffer is
+	// allocated for it, mirroring core's maxSegmentBytes discipline.
+	maxBlockBytes = 1 << 30
+
+	// chunkBytes is the DATA frame payload budget.
+	chunkBytes = 256 << 10
+	// defaultWindow is how many DATA frames a sender may have outstanding
+	// before it blocks on the receiver's ACKs.
+	defaultWindow = 8
+)
+
+// crcTable is the Castagnoli table, as in Skyway wire v2.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// tornError builds the structured error a damaged frame surfaces as. The
+// transport reuses core's DecodeError so the dataflow degradation ladder
+// (and the chaos matrix's closed error set) treat a stream torn on the real
+// wire exactly like one torn in a simulated transfer.
+func tornError(detail string) error {
+	return &core.DecodeError{Kind: core.DecodeChecksum, Detail: detail}
+}
+
+// writeFrame emits one frame. The caller flushes.
+func writeFrame(w io.Writer, op byte, payload []byte) error {
+	var h [9]byte
+	h[0] = op
+	binary.BigEndian.PutUint32(h[1:5], uint32(len(payload)))
+	binary.BigEndian.PutUint32(h[5:9], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(h[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads and validates one frame. The declared length is bounds-
+// checked at full width before any allocation; a CRC mismatch surfaces as a
+// *core.DecodeError so callers can tell a torn stream from a dead peer.
+func readFrame(r io.Reader) (op byte, payload []byte, err error) {
+	var h [9]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return 0, nil, err
+	}
+	op = h[0]
+	ln := binary.BigEndian.Uint32(h[1:5])
+	if ln > maxFramePayload {
+		return 0, nil, tornError(fmt.Sprintf("transport frame declares %d payload bytes (cap %d)", ln, maxFramePayload))
+	}
+	want := binary.BigEndian.Uint32(h[5:9])
+	payload = make([]byte, ln)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, noEOF(err)
+	}
+	// Failpoint: the stream is torn in flight — flip one deterministic
+	// byte of the received payload before the integrity check, which must
+	// reject it. Applied only to DATA frames so control frames keep the
+	// conversation parseable (a torn control frame severs the connection,
+	// which the dial/retry path already covers).
+	if op == opData && len(payload) > 4 && fault.Eval(fault.TransportStreamTorn) {
+		payload[4+(len(payload)-4)/2] ^= 0xFF
+	}
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return 0, nil, tornError(fmt.Sprintf("transport frame CRC %#x, want %#x (stream torn in flight)", got, want))
+	}
+	return op, payload, nil
+}
+
+// noEOF maps a bare io.EOF inside a frame to io.ErrUnexpectedEOF: running
+// out of bytes mid-frame is truncation, not a clean close.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ERR frame kinds: how the receiving side should rehydrate the error.
+const (
+	errKindGeneric = 0
+	errKindDecode  = 1
+)
+
+// encodeErr builds an ERR frame payload from a server-side failure,
+// preserving the decode-error shape across the wire.
+func encodeErr(err error) []byte {
+	kind := byte(errKindGeneric)
+	if _, ok := core.AsDecodeError(err); ok {
+		kind = errKindDecode
+	}
+	detail := err.Error()
+	p := make([]byte, 5, 5+len(detail))
+	p[0] = kind
+	binary.BigEndian.PutUint32(p[1:5], uint32(len(detail)))
+	return append(p, detail...)
+}
+
+// decodeErrFrame turns a received ERR payload back into an error with the
+// structure the sender declared.
+func decodeErrFrame(payload []byte) error {
+	if len(payload) < 5 {
+		return fmt.Errorf("transport: malformed ERR frame (%d bytes)", len(payload))
+	}
+	n := binary.BigEndian.Uint32(payload[1:5])
+	if uint64(n) != uint64(len(payload)-5) {
+		return fmt.Errorf("transport: malformed ERR frame (declares %d detail bytes of %d)", n, len(payload)-5)
+	}
+	detail := string(payload[5:])
+	if payload[0] == errKindDecode {
+		return tornError(detail)
+	}
+	return fmt.Errorf("transport: server error: %s", detail)
+}
+
+// sendBlock streams block as CRC-framed DATA chunks under the credit
+// window: at most window chunks are outstanding before the sender blocks on
+// the peer's cumulative ACKs. w must be flushable (bufio) — the sender
+// flushes before every blocking ACK read, or both sides would deadlock.
+func sendBlock(w *bufio.Writer, r io.Reader, block []byte, window int) error {
+	if window < 1 {
+		window = 1
+	}
+	chunks := (len(block) + chunkBytes - 1) / chunkBytes
+	outstanding := 0
+	acked := uint32(0)
+	awaitAck := func() error {
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		op, payload, err := readFrame(r)
+		if err != nil {
+			return err
+		}
+		if op == opErr {
+			return decodeErrFrame(payload)
+		}
+		if op != opAck || len(payload) != 4 {
+			return fmt.Errorf("transport: want ACK, got frame %q", op)
+		}
+		idx := binary.BigEndian.Uint32(payload)
+		if idx != acked {
+			return fmt.Errorf("transport: ACK for chunk %d, want %d", idx, acked)
+		}
+		acked++
+		outstanding--
+		return nil
+	}
+	var hdr [4]byte
+	for i := 0; i < chunks; i++ {
+		lo, hi := i*chunkBytes, (i+1)*chunkBytes
+		if hi > len(block) {
+			hi = len(block)
+		}
+		binary.BigEndian.PutUint32(hdr[:], uint32(i))
+		if err := writeFrame(w, opData, append(hdr[:4:4], block[lo:hi]...)); err != nil {
+			return err
+		}
+		outstanding++
+		if outstanding >= window {
+			if err := awaitAck(); err != nil {
+				return err
+			}
+		}
+	}
+	for outstanding > 0 {
+		if err := awaitAck(); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
+}
+
+// recvBlock receives a block announced as total bytes in chunks DATA
+// frames, acknowledging each chunk (the sender's credit). Both counts were
+// read off the wire, so they are bounds-checked at full width before any
+// buffer is sized from them.
+func recvBlock(w *bufio.Writer, r io.Reader, total uint64, chunks uint32) ([]byte, error) {
+	if total > maxBlockBytes {
+		return nil, tornError(fmt.Sprintf("transport block declares %d bytes (cap %d)", total, maxBlockBytes))
+	}
+	if uint64(chunks) != (total+chunkBytes-1)/chunkBytes {
+		return nil, tornError(fmt.Sprintf("transport block declares %d chunks for %d bytes", chunks, total))
+	}
+	block := make([]byte, 0, total)
+	var ack [4]byte
+	for i := uint32(0); i < chunks; i++ {
+		op, payload, err := readFrame(r)
+		if err != nil {
+			return nil, err
+		}
+		if op != opData || len(payload) < 4 {
+			return nil, fmt.Errorf("transport: want DATA, got frame %q", op)
+		}
+		if idx := binary.BigEndian.Uint32(payload[:4]); idx != i {
+			return nil, fmt.Errorf("transport: DATA chunk %d out of order, want %d", idx, i)
+		}
+		if uint64(len(block))+uint64(len(payload)-4) > total {
+			return nil, tornError("transport block longer than declared")
+		}
+		block = append(block, payload[4:]...)
+		// Failpoint: a slow peer — the receiver stalls before granting the
+		// sender's next credit, so the window turns the stall into real
+		// sender-side backpressure.
+		fault.Sleep(fault.TransportPeerSlow)
+		binary.BigEndian.PutUint32(ack[:], i)
+		if err := writeFrame(w, opAck, ack[:]); err != nil {
+			return nil, err
+		}
+		if err := w.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	if uint64(len(block)) != total {
+		return nil, tornError(fmt.Sprintf("transport block %d bytes, declared %d", len(block), total))
+	}
+	return block, nil
+}

@@ -1,0 +1,155 @@
+package tcp
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"skyway/internal/core"
+	"skyway/internal/fault"
+	"skyway/internal/obs"
+)
+
+// Pool dial/retry counters, exported on /metrics.
+var (
+	ctrPoolDials   = obs.NewCounter("skyway_transport_dials_total", "TCP transport connections dialed to peer block servers.")
+	ctrPoolRetries = obs.NewCounter("skyway_transport_retries_total", "TCP transport exchanges retried on a fresh connection.")
+)
+
+// poolDefaults mirror the registry client's discipline: a per-exchange
+// deadline, a couple of retries over fresh connections, doubling backoff.
+const (
+	poolTimeout = 5 * time.Second
+	poolRetries = 2
+	poolBackoff = 50 * time.Millisecond
+)
+
+// pool is a tiny per-peer connection pool: at most one cached connection per
+// peer address, handed out exclusively for the duration of an exchange and
+// returned only if the exchange succeeded. Any failure discards the
+// connection — the next exchange dials fresh. Exchanges are retried with
+// doubling backoff, and every attempt runs under a connection deadline that
+// is reset via defer on every exit path (the lifecycle bug this PR fixes in
+// the registry client: a deadline left armed poisons the next exchange on
+// the same connection).
+type pool struct {
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+
+	mu    chan struct{} // 1-token semaphore guarding idle
+	idles map[string]*poolConn
+}
+
+type poolConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func newPool() *pool {
+	p := &pool{
+		timeout: poolTimeout,
+		retries: poolRetries,
+		backoff: poolBackoff,
+		mu:      make(chan struct{}, 1),
+		idles:   make(map[string]*poolConn),
+	}
+	p.mu <- struct{}{}
+	return p
+}
+
+// get returns a ready connection to addr: the cached idle one if present,
+// else a fresh dial (hello included). The caller owns it until put/discard.
+func (p *pool) get(addr string) (*poolConn, error) {
+	<-p.mu
+	pc := p.idles[addr]
+	delete(p.idles, addr)
+	p.mu <- struct{}{}
+	if pc != nil {
+		return pc, nil
+	}
+	// Failpoint: the dial itself fails — unreachable peer, refused port.
+	if err := fault.Inject(fault.TransportDial); err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	conn, err := net.DialTimeout("tcp", addr, p.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	ctrPoolDials.Inc()
+	pc = &poolConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	hello := append([]byte(helloMagic), helloVersion)
+	conn.SetDeadline(time.Now().Add(p.timeout))
+	_, err = conn.Write(hello)
+	conn.SetDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: hello %s: %w", addr, err)
+	}
+	return pc, nil
+}
+
+// put returns a healthy connection to the idle cache (displacing — and
+// closing — any connection cached for addr in the meantime).
+func (p *pool) put(addr string, pc *poolConn) {
+	<-p.mu
+	old := p.idles[addr]
+	p.idles[addr] = pc
+	p.mu <- struct{}{}
+	if old != nil {
+		old.conn.Close()
+	}
+}
+
+// exchange runs fn against a pooled connection to addr, retrying on fresh
+// connections with doubling backoff. Each attempt runs under a full-exchange
+// deadline that a deferred reset disarms on every exit path, so a timeout on
+// one exchange can never poison the next one on a reused connection. A
+// *core.DecodeError (torn stream) is retried too — the peer's stored block
+// is intact, so a fresh conversation can succeed — but if the tear persists
+// past the retry budget the structured error surfaces to the caller, where
+// the dataflow degradation ladder takes over.
+func (p *pool) exchange(addr string, fn func(pc *poolConn) error) error {
+	var err error
+	for attempt := 0; attempt <= p.retries; attempt++ {
+		if attempt > 0 {
+			ctrPoolRetries.Inc()
+			time.Sleep(p.backoff << (attempt - 1))
+		}
+		err = p.attempt(addr, fn)
+		if err == nil {
+			return nil
+		}
+	}
+	if de, ok := core.AsDecodeError(err); ok {
+		return de
+	}
+	return fmt.Errorf("transport: exchange with %s failed after %d attempts: %w", addr, p.retries+1, err)
+}
+
+func (p *pool) attempt(addr string, fn func(pc *poolConn) error) error {
+	pc, err := p.get(addr)
+	if err != nil {
+		return err
+	}
+	pc.conn.SetDeadline(time.Now().Add(p.timeout))
+	defer pc.conn.SetDeadline(time.Time{})
+	if err := fn(pc); err != nil {
+		pc.conn.Close()
+		return err
+	}
+	p.put(addr, pc)
+	return nil
+}
+
+// close discards every idle connection.
+func (p *pool) close() {
+	<-p.mu
+	for addr, pc := range p.idles {
+		pc.conn.Close()
+		delete(p.idles, addr)
+	}
+	p.mu <- struct{}{}
+}

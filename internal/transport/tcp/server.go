@@ -1,0 +1,292 @@
+package tcp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"skyway/internal/obs"
+)
+
+// Block-server counters, exported on /metrics.
+var (
+	ctrSrvBlocks     = obs.NewCounter("skyway_transport_blocks_stored_total", "Shuffle blocks stored by TCP block servers.")
+	ctrSrvBlockBytes = obs.NewCounter("skyway_transport_block_bytes_total", "Shuffle block bytes stored by TCP block servers.")
+	ctrSrvFetches    = obs.NewCounter("skyway_transport_fetches_total", "Block fetches served by TCP block servers.")
+)
+
+// blockID keys one shuffle block within an executor's store.
+type blockID struct {
+	seq, src, dst uint32
+}
+
+// Server is one executor's block server: the map side publishes the
+// executor's serialized shuffle blocks here, and reducers fetch them over
+// the same framed protocol. It is the process boundary of the TCP cluster —
+// everything stored here arrived over a real socket, and everything fetched
+// leaves over one.
+type Server struct {
+	id int
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+	blocks map[blockID][]byte
+	bcasts map[uint32][]byte
+}
+
+// Serve starts an executor block server for executor id on ln. It returns
+// immediately; call Close to stop.
+func Serve(id int, ln net.Listener) *Server {
+	s := &Server{
+		id: id, ln: ln,
+		conns:  make(map[net.Conn]bool),
+		blocks: make(map[blockID][]byte),
+		bcasts: make(map[uint32][]byte),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listen address peers should dial.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// ID returns the executor ID this server stores blocks for.
+func (s *Server) ID() int { return s.id }
+
+// Close stops the server, severs open connections, and waits for the
+// handlers to drain. The conn-map mutation is mutex-guarded against the
+// accept loop (same discipline as registry.Server.Close).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// store/load/drop are the mutex-guarded block table operations; the framed
+// conversations never run under the lock, so a slow transfer on one
+// connection cannot stall another connection's lookup.
+func (s *Server) store(id blockID, block []byte) {
+	s.mu.Lock()
+	s.blocks[id] = block
+	s.mu.Unlock()
+	ctrSrvBlocks.Inc()
+	ctrSrvBlockBytes.Add(int64(len(block)))
+}
+
+func (s *Server) load(id blockID) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blocks[id]
+	return b, ok
+}
+
+func (s *Server) dropBlock(id blockID) {
+	s.mu.Lock()
+	delete(s.blocks, id)
+	s.mu.Unlock()
+}
+
+// handle runs one connection's request loop. Any protocol violation severs
+// the connection — the client's pool retries on a fresh one.
+func (s *Server) handle(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	var hello [len(helloMagic) + 1]byte
+	if _, err := readFull(r, hello[:]); err != nil {
+		return
+	}
+	if string(hello[:len(helloMagic)]) != helloMagic || hello[len(helloMagic)] != helloVersion {
+		return
+	}
+	for {
+		op, payload, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		switch op {
+		case opPut:
+			if len(payload) != 24 {
+				s.sendErr(w, fmt.Errorf("PUT header size"))
+				return
+			}
+			id := blockID{
+				seq: binary.BigEndian.Uint32(payload[0:4]),
+				src: binary.BigEndian.Uint32(payload[4:8]),
+				dst: binary.BigEndian.Uint32(payload[8:12]),
+			}
+			total := binary.BigEndian.Uint64(payload[12:20])
+			chunks := binary.BigEndian.Uint32(payload[20:24])
+			block, err := recvBlock(w, r, total, chunks)
+			if err != nil {
+				s.sendErr(w, err)
+				return
+			}
+			s.store(id, block)
+			if err := s.sendOK(w); err != nil {
+				return
+			}
+		case opGet:
+			if len(payload) != 12 {
+				s.sendErr(w, fmt.Errorf("GET header size"))
+				return
+			}
+			id := blockID{
+				seq: binary.BigEndian.Uint32(payload[0:4]),
+				src: binary.BigEndian.Uint32(payload[4:8]),
+				dst: binary.BigEndian.Uint32(payload[8:12]),
+			}
+			block, ok := s.load(id)
+			if !ok {
+				if err := writeFrame(w, opNil, nil); err != nil {
+					return
+				}
+				if err := w.Flush(); err != nil {
+					return
+				}
+				continue
+			}
+			ctrSrvFetches.Inc()
+			if err := s.sendBlockWithHdr(w, r, block); err != nil {
+				return
+			}
+		case opDrop:
+			if len(payload) != 12 {
+				s.sendErr(w, fmt.Errorf("DROP header size"))
+				return
+			}
+			s.dropBlock(blockID{
+				seq: binary.BigEndian.Uint32(payload[0:4]),
+				src: binary.BigEndian.Uint32(payload[4:8]),
+				dst: binary.BigEndian.Uint32(payload[8:12]),
+			})
+			if err := s.sendOK(w); err != nil {
+				return
+			}
+		case opBPut:
+			if len(payload) != 16 {
+				s.sendErr(w, fmt.Errorf("BCAST-PUT header size"))
+				return
+			}
+			seq := binary.BigEndian.Uint32(payload[0:4])
+			total := binary.BigEndian.Uint64(payload[4:12])
+			chunks := binary.BigEndian.Uint32(payload[12:16])
+			block, err := recvBlock(w, r, total, chunks)
+			if err != nil {
+				s.sendErr(w, err)
+				return
+			}
+			s.mu.Lock()
+			s.bcasts[seq] = block
+			s.mu.Unlock()
+			if err := s.sendOK(w); err != nil {
+				return
+			}
+		case opBGet:
+			if len(payload) != 4 {
+				s.sendErr(w, fmt.Errorf("BCAST-GET header size"))
+				return
+			}
+			seq := binary.BigEndian.Uint32(payload)
+			s.mu.Lock()
+			block, ok := s.bcasts[seq]
+			s.mu.Unlock()
+			if !ok {
+				if err := writeFrame(w, opNil, nil); err != nil {
+					return
+				}
+				if err := w.Flush(); err != nil {
+					return
+				}
+				continue
+			}
+			if err := s.sendBlockWithHdr(w, r, block); err != nil {
+				return
+			}
+		default:
+			s.sendErr(w, fmt.Errorf("unknown op %q", op))
+			return
+		}
+	}
+}
+
+// sendBlockWithHdr announces a block ('H' total chunks) and streams it
+// under the credit window, reading the client's ACKs.
+func (s *Server) sendBlockWithHdr(w *bufio.Writer, r *bufio.Reader, block []byte) error {
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(len(block)))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32((len(block)+chunkBytes-1)/chunkBytes))
+	if err := writeFrame(w, opHdr, hdr[:]); err != nil {
+		return err
+	}
+	return sendBlock(w, r, block, defaultWindow)
+}
+
+func (s *Server) sendOK(w *bufio.Writer) error {
+	if err := writeFrame(w, opOK, nil); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// sendErr reports a failure before the server severs the connection,
+// preserving decode-error structure across the wire; best-effort (the
+// client may already be gone).
+func (s *Server) sendErr(w *bufio.Writer, err error) {
+	writeFrame(w, opErr, encodeErr(err))
+	w.Flush()
+}
+
+// readFull is io.ReadFull over the connection's buffered reader, split out
+// so handle's hello read mirrors the registry server's.
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,259 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"skyway/internal/transport"
+)
+
+// Transport is the real-network transport.Transport: every shuffle block and
+// broadcast payload crosses loopback (or the LAN) twice — once when the map
+// side PUTs it to the block server that owns it, once when the reduce side
+// GETs it back. Costs are measured wall-clock: the cost methods return the
+// socket time the exchanges actually clocked, so a Breakdown produced under
+// this transport reports real I/O where the simulator reports modelled I/O.
+//
+// Block placement follows the simulator's locality story: the blocks mapper
+// src produced live on executor process src, so a reduce task on executor
+// dst doing Fetch(src, dst) reads remotely for every src != dst.
+type Transport struct {
+	peers map[int]string // executor ID → block-server address
+	pool  *pool
+}
+
+// New builds a TCP transport over the given executor ID → address map
+// (usually the snapshot a registry PeerClient returned from Peers).
+func New(peers map[int]string) *Transport {
+	t := &Transport{peers: make(map[int]string, len(peers)), pool: newPool()}
+	for id, addr := range peers {
+		t.peers[id] = addr
+	}
+	return t
+}
+
+// Peers returns the executor IDs this transport can reach, sorted.
+func (t *Transport) Peers() []int {
+	out := make([]int, 0, len(t.peers))
+	for id := range t.peers {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (t *Transport) addrOf(ex int) (string, error) {
+	addr, ok := t.peers[ex]
+	if !ok {
+		return "", fmt.Errorf("transport: no block server advertised for executor %d", ex)
+	}
+	return addr, nil
+}
+
+// NewShuffle implements transport.Transport.
+func (t *Transport) NewShuffle(seq int) (transport.Shuffle, error) {
+	return &tcpShuffle{t: t, seq: uint32(seq)}, nil
+}
+
+// WriteCost implements transport.Transport: the charge is exactly the socket
+// time the task's Puts measured.
+func (t *Transport) WriteCost(n int64, measured time.Duration) time.Duration {
+	return measured
+}
+
+// FetchCost implements transport.Transport: the charge is exactly the socket
+// time the task's fetches measured, every attempt included.
+func (t *Transport) FetchCost(local, remote int64, measured time.Duration) time.Duration {
+	return measured
+}
+
+// Broadcast implements transport.Transport: the payload is PUT to every
+// executor's block server, so each executor's later fetch is served by its
+// own process (the BitTorrent-ish alternative of peer-to-peer chunk exchange
+// is out of scope; the paper's broadcasts are driver-fan-out too).
+func (t *Transport) Broadcast(seq int, payload []byte) (time.Duration, error) {
+	start := time.Now()
+	for _, ex := range t.Peers() {
+		addr, err := t.addrOf(ex)
+		if err != nil {
+			return time.Since(start), err
+		}
+		var hdr [16]byte
+		binary.BigEndian.PutUint32(hdr[0:4], uint32(seq))
+		binary.BigEndian.PutUint64(hdr[4:12], uint64(len(payload)))
+		binary.BigEndian.PutUint32(hdr[12:16], uint32((len(payload)+chunkBytes-1)/chunkBytes))
+		err = t.pool.exchange(addr, func(pc *poolConn) error {
+			if err := writeFrame(pc.w, opBPut, hdr[:]); err != nil {
+				return err
+			}
+			if err := sendBlock(pc.w, pc.r, payload, defaultWindow); err != nil {
+				return err
+			}
+			return awaitOK(pc)
+		})
+		if err != nil {
+			return time.Since(start), err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// FetchBroadcast implements transport.Transport.
+func (t *Transport) FetchBroadcast(seq, ex int) ([]byte, time.Duration, error) {
+	addr, err := t.addrOf(ex)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(seq))
+	block, err := t.fetchFramed(addr, opBGet, hdr[:])
+	if err != nil {
+		return nil, time.Since(start), err
+	}
+	if block == nil {
+		return nil, time.Since(start), fmt.Errorf("transport: broadcast %d not published to executor %d", seq, ex)
+	}
+	return block, time.Since(start), nil
+}
+
+// BroadcastCost implements transport.Transport.
+func (t *Transport) BroadcastCost(n int64, measured time.Duration) time.Duration {
+	return measured
+}
+
+// Close implements transport.Transport.
+func (t *Transport) Close() error {
+	t.pool.close()
+	return nil
+}
+
+// fetchFramed runs one GET-shaped conversation (request frame out, 'H' +
+// DATA frames or 'N' back) and returns the block, nil when the server never
+// had one.
+func (t *Transport) fetchFramed(addr string, op byte, req []byte) ([]byte, error) {
+	var block []byte
+	err := t.pool.exchange(addr, func(pc *poolConn) error {
+		block = nil
+		if err := writeFrame(pc.w, op, req); err != nil {
+			return err
+		}
+		if err := pc.w.Flush(); err != nil {
+			return err
+		}
+		rop, payload, err := readFrame(pc.r)
+		if err != nil {
+			return err
+		}
+		switch rop {
+		case opNil:
+			return nil
+		case opErr:
+			return decodeErrFrame(payload)
+		case opHdr:
+			if len(payload) != 12 {
+				return fmt.Errorf("transport: HDR payload %d bytes, want 12", len(payload))
+			}
+			total := binary.BigEndian.Uint64(payload[0:8])
+			chunks := binary.BigEndian.Uint32(payload[8:12])
+			block, err = recvBlock(pc.w, pc.r, total, chunks)
+			return err
+		default:
+			return fmt.Errorf("transport: want HDR or NIL, got frame %q", rop)
+		}
+	})
+	return block, err
+}
+
+// tcpShuffle is one round's block exchange over the peer block servers.
+type tcpShuffle struct {
+	t   *Transport
+	seq uint32
+}
+
+// Put implements transport.Shuffle: the block lands on executor src's server.
+func (s *tcpShuffle) Put(src, dst int, block []byte) (time.Duration, error) {
+	addr, err := s.t.addrOf(src)
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	var hdr [24]byte
+	binary.BigEndian.PutUint32(hdr[0:4], s.seq)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(src))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(dst))
+	binary.BigEndian.PutUint64(hdr[12:20], uint64(len(block)))
+	binary.BigEndian.PutUint32(hdr[20:24], uint32((len(block)+chunkBytes-1)/chunkBytes))
+	err = s.t.pool.exchange(addr, func(pc *poolConn) error {
+		if err := writeFrame(pc.w, opPut, hdr[:]); err != nil {
+			return err
+		}
+		if err := sendBlock(pc.w, pc.r, block, defaultWindow); err != nil {
+			return err
+		}
+		return awaitOK(pc)
+	})
+	return time.Since(start), err
+}
+
+// Fetch implements transport.Shuffle. The bytes come back over a socket, so
+// they are already the caller's private copy — safe to tear for fault
+// injection without a defensive copy.
+func (s *tcpShuffle) Fetch(src, dst int) ([]byte, time.Duration, error) {
+	addr, err := s.t.addrOf(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], s.seq)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(src))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(dst))
+	block, err := s.t.fetchFramed(addr, opGet, hdr[:])
+	return block, time.Since(start), err
+}
+
+// Drop implements transport.Shuffle; best-effort (an unreachable server just
+// keeps the block until its process exits).
+func (s *tcpShuffle) Drop(src, dst int) {
+	addr, err := s.t.addrOf(src)
+	if err != nil {
+		return
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], s.seq)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(src))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(dst))
+	s.t.pool.exchange(addr, func(pc *poolConn) error {
+		if err := writeFrame(pc.w, opDrop, hdr[:]); err != nil {
+			return err
+		}
+		return awaitOK(pc)
+	})
+}
+
+// Close implements transport.Shuffle. Blocks the reducers dropped are gone;
+// anything left (an aborted stage) stays on the servers, keyed by a seq no
+// future round reuses.
+func (s *tcpShuffle) Close() error { return nil }
+
+// awaitOK flushes and reads the server's closing 'K' frame.
+func awaitOK(pc *poolConn) error {
+	if err := pc.w.Flush(); err != nil {
+		return err
+	}
+	op, payload, err := readFrame(pc.r)
+	if err != nil {
+		return err
+	}
+	switch op {
+	case opOK:
+		return nil
+	case opErr:
+		return decodeErrFrame(payload)
+	default:
+		return fmt.Errorf("transport: want OK, got frame %q", op)
+	}
+}

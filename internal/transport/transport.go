@@ -1,0 +1,82 @@
+// Package transport defines the seam between the dataflow shuffle/broadcast
+// path and the layer that actually moves serialized bytes between executors.
+// The dataflow engine produces and consumes opaque blocks (already framed and
+// checksummed by the active codec's wire format); a Transport decides where
+// those blocks live and what moving them costs.
+//
+// Two implementations ship: netsim.LocalTransport keeps blocks in process
+// (optionally spilled to real files) and prices I/O with the analytic cost
+// model — the fast CI path, bit-identical to the historical simulator — and
+// transport/tcp moves every block through per-executor server processes over
+// length-prefixed, CRC-framed TCP streams, where the costs are measured
+// wall-clock rather than modelled.
+//
+// The cost methods exist because the two worlds account differently: the
+// simulator charges modelled time derived from byte counts, a spill-backed
+// simulator mixes measured disk time with a modelled network hop, and a real
+// network transport charges exactly what its sockets measured. Keeping the
+// pricing policy behind the seam lets the dataflow engine stay byte-count
+// centric without knowing which world it is in.
+package transport
+
+import "time"
+
+// Transport moves serialized blocks between the executors of one cluster.
+// Implementations must be safe for concurrent use by parallel tasks.
+type Transport interface {
+	// NewShuffle opens the block exchange for one shuffle round. seq
+	// distinguishes rounds so a transport with persistent storage (spill
+	// files, remote block servers) never confuses two rounds' blocks.
+	NewShuffle(seq int) (Shuffle, error)
+
+	// WriteCost converts one map task's spill totals into its write-I/O
+	// charge: n is the bytes the task published and measured is the real
+	// I/O time its Puts clocked (zero under a purely modelled transport).
+	WriteCost(n int64, measured time.Duration) time.Duration
+
+	// FetchCost converts one reduce task's fetch totals into its read-I/O
+	// charge. local and remote are the bytes *fetched* — every attempt
+	// counts, so a block re-fetched by the degradation ladder is charged
+	// again — and measured is the real I/O time the fetches clocked.
+	FetchCost(local, remote int64, measured time.Duration) time.Duration
+
+	// Broadcast publishes the driver's payload to every executor; seq
+	// distinguishes broadcast rounds. Returns the measured publish time
+	// (zero under a purely modelled transport).
+	Broadcast(seq int, payload []byte) (time.Duration, error)
+
+	// FetchBroadcast returns executor ex's copy of broadcast seq and the
+	// measured fetch time. The returned slice must not be mutated — an
+	// in-process transport may hand every executor the same backing array.
+	FetchBroadcast(seq, ex int) ([]byte, time.Duration, error)
+
+	// BroadcastCost converts one executor's broadcast receive of n bytes
+	// (measured fetch time included) into its read-I/O charge.
+	BroadcastCost(n int64, measured time.Duration) time.Duration
+
+	// Close releases the transport's connections and round state.
+	Close() error
+}
+
+// Shuffle is one round's block exchange. Blocks are keyed by the (mapper,
+// partition) pair; a block stays available until Drop so a fetch whose copy
+// was damaged in flight can be retried from the intact stored bytes.
+type Shuffle interface {
+	// Put publishes mapper src's serialized block for partition dst and
+	// returns the measured I/O time (zero under a modelled transport).
+	// Empty blocks need not be published.
+	Put(src, dst int, block []byte) (time.Duration, error)
+
+	// Fetch returns a copy-on-damage view of block (src, dst) and the
+	// measured fetch time. A nil block means the mapper published nothing
+	// for that partition. The caller must treat the returned bytes as
+	// read-only (tearing them for fault injection requires a copy).
+	Fetch(src, dst int) ([]byte, time.Duration, error)
+
+	// Drop releases a block the reducer has fully decoded.
+	Drop(src, dst int)
+
+	// Close releases the round's residual state. Blocks never dropped (an
+	// aborted stage) may survive Close; the next round uses a fresh seq.
+	Close() error
+}
