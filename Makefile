@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet skywayvet vet-taint sarif lint-fixtures race race-parallel verify chaos cluster-test fuzz-smoke check check-parallel bench-json bench-cmp
+.PHONY: build test vet skywayvet vet-taint sarif lint-fixtures race race-parallel verify chaos cluster-test fuzz-smoke check check-parallel bench-json bench-cmp speed-json speed-cmp
 
 build:
 	$(GO) build ./...
@@ -82,6 +82,16 @@ bench-json:
 bench-cmp:
 	$(GO) run ./cmd/benchcmp -tol 0.20 BENCH_spark.json $(BENCH_DIR)/BENCH_spark.json
 	$(GO) run ./cmd/benchcmp -tol 0.20 BENCH_flink.json $(BENCH_DIR)/BENCH_flink.json
+
+# Raw encode/decode throughput against the memcpy ceiling (cmd/speedbench):
+# regenerate BENCH_speed.json, and gate it the same way as the trajectory
+# files (best-pass time per workload may not regress past +20%).
+speed-json:
+	mkdir -p $(BENCH_DIR)
+	$(GO) run ./cmd/speedbench -bench-json $(BENCH_DIR)/BENCH_speed.json
+
+speed-cmp:
+	$(GO) run ./cmd/benchcmp -tol 0.20 BENCH_speed.json $(BENCH_DIR)/BENCH_speed.json
 
 check: build vet skywayvet race
 

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+	"skyway/internal/race"
+	"skyway/internal/verify"
+	"skyway/internal/vm"
+)
+
+// --- kind-size validation (the putKind silent-truncation bugfix) -------------
+
+// putKind used to silently no-op on a kind whose size is not 1/2/4/8,
+// leaving zero bytes where a field's value should be — corruption without a
+// diagnostic. The writer now panics (an undefined-size kind in a loaded
+// class is a programming error on the encode side) and the reader rejects
+// the class with a structured decode error before any field is read.
+func TestPutKindUndefinedSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("putKind silently accepted a kind of undefined size")
+		}
+	}()
+	var b [8]byte
+	putKind(b[:], klass.Invalid, 0x1234)
+}
+
+func TestCheckKlassKindsRejectsUndefinedSizes(t *testing.T) {
+	bad := &klass.Klass{Name: "Bad", Fields: []klass.Field{{Name: "x", Kind: klass.Invalid}}}
+	if err := checkKlassKinds(bad); err == nil {
+		t.Error("class with an Invalid-kind field passed kind validation")
+	}
+	badArr := &klass.Klass{Name: "Bad[]", IsArray: true, Elem: klass.Invalid}
+	if err := checkKlassKinds(badArr); err == nil {
+		t.Error("array class with an Invalid element kind passed kind validation")
+	}
+	ok := &klass.Klass{Name: "OK", Fields: []klass.Field{{Name: "x", Kind: klass.Int64}, {Name: "r", Kind: klass.Ref}}}
+	if err := checkKlassKinds(ok); err != nil {
+		t.Errorf("well-formed class rejected: %v", err)
+	}
+	okArr := &klass.Klass{Name: "long[]", IsArray: true, Elem: klass.Int64}
+	if err := checkKlassKinds(okArr); err != nil {
+		t.Errorf("well-formed array class rejected: %v", err)
+	}
+}
+
+// --- steady-state allocation discipline --------------------------------------
+
+// allocCorpus pins a few long[] arrays on rt — enough payload for the writer
+// to flush many segments per pass — and returns their addresses. Handles are
+// released via t.Cleanup.
+func allocCorpus(t *testing.T, rt *vm.Runtime, arrays, elems int) []heap.Addr {
+	t.Helper()
+	k := rt.MustLoad("long[]")
+	roots := make([]heap.Addr, 0, arrays)
+	for i := 0; i < arrays; i++ {
+		a := rt.MustNewArray(k, elems)
+		for j := 0; j < elems; j += 31 {
+			rt.ArraySetLong(a, j, int64(i+j))
+		}
+		h := rt.Pin(a)
+		t.Cleanup(h.Release)
+		roots = append(roots, h.Addr())
+	}
+	return roots
+}
+
+func skipIfInstrumented(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("allocation benchmark skipped in -short mode")
+	}
+	if race.Enabled {
+		t.Skip("allocation accounting differs under the race detector")
+	}
+	if verify.Enabled() {
+		t.Skip("the heap verifier allocates during its walks")
+	}
+}
+
+// TestEncodeSteadyStateAllocs pins the writer's hot-path memory discipline:
+// after warmup, encoding a multi-segment corpus must not allocate per
+// segment — the output buffer and compact scratch recycle through the
+// process-wide pool, and primitive arrays bulk-copy without staging. The
+// budget covers only per-pass fixed costs (the Writer itself, its maps).
+func TestEncodeSteadyStateAllocs(t *testing.T) {
+	skipIfInstrumented(t)
+	snd, _, sky := testCluster(t)
+	roots := allocCorpus(t, snd, 8, 64<<10) // 4 MiB payload, ~16 segments/pass
+
+	var buf bytes.Buffer
+	pass := func() {
+		sky.ShuffleStart()
+		buf.Reset()
+		w := sky.NewWriter(&buf)
+		for _, a := range roots {
+			if err := w.WriteObject(a); err != nil {
+				panic(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			panic(err)
+		}
+	}
+	pass() // warm the pools and learn the corpus size
+	corpus := buf.Len()
+
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pass()
+		}
+	})
+	const budget = 128 << 10
+	if bpo := res.AllocedBytesPerOp(); bpo > budget {
+		t.Errorf("encode pass over a %d-byte corpus allocates %d bytes/op, budget %d (segment buffers must recycle)",
+			corpus, bpo, budget)
+	}
+}
+
+// TestDecodeSteadyStateAllocs is the decode-side counterpart: wire segments
+// land directly in the pinned chunk (no staging copy), so a pass allocates
+// only the Reader's fixed state plus one small pin bookkeeping record per
+// chunk — never segment-sized buffers.
+func TestDecodeSteadyStateAllocs(t *testing.T) {
+	skipIfInstrumented(t)
+	snd, rcv, sky := testCluster(t)
+	roots := allocCorpus(t, snd, 8, 64<<10)
+
+	var buf bytes.Buffer
+	sky.ShuffleStart()
+	w := sky.NewWriter(&buf)
+	for _, a := range roots {
+		if err := w.WriteObject(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wire := append([]byte(nil), buf.Bytes()...)
+
+	pass := func() {
+		r := NewReader(rcv, bytes.NewReader(wire))
+		for {
+			if _, err := r.ReadObject(); err != nil {
+				if err == io.EOF {
+					break
+				}
+				panic(err)
+			}
+		}
+		r.Free()
+	}
+	pass() // warm the pools
+
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pass()
+		}
+	})
+	const budget = 128 << 10
+	if bpo := res.AllocedBytesPerOp(); bpo > budget {
+		t.Errorf("decode pass over a %d-byte corpus allocates %d bytes/op, budget %d (wire bytes must land in place)",
+			len(wire), bpo, budget)
+	}
+}

@@ -109,6 +109,9 @@ func (rd *Reader) decodeCompactSegment(phys []byte, base heap.Addr, decoded uint
 			return err
 		}
 		k, err := rt.KlassByTID(int32(uint32(tid64)))
+		if err == nil {
+			err = checkKlassKinds(k)
+		}
 		if err != nil {
 			return rd.decodeWrap(DecodeType, uint64(pos), err)
 		}

@@ -261,9 +261,31 @@ func corruptStaged(tmp []byte) {
 	}
 }
 
-// readSegment allocates an input-buffer chunk and copies the segment into
+// fillStaged receives one segment payload into dst — which may alias the
+// pinned chunk directly — and validates it in place: injected wire damage,
+// then the CRC gate, then the post-checksum corruption point.
+func (rd *Reader) fillStaged(dst []byte, wireCRC uint32) error {
+	if _, err := io.ReadFull(rd.r, dst); err != nil {
+		return rd.decodeWrap(DecodeFrame, 0, noEOF(err))
+	}
+	if err := rd.checkSegment(dst, wireCRC); err != nil {
+		return err
+	}
+	corruptStaged(dst)
+	return nil
+}
+
+// readSegment allocates an input-buffer chunk and receives the segment into
 // it. The chunk is pinned immediately (unparsed) so the collector treats
 // the raw bytes as opaque.
+//
+// On hosts whose byte order matches the slab encoding the wire bytes are
+// read directly into the pinned chunk through heap.ByteView and checksummed
+// in place — the decode path's only copy is the socket read itself. The
+// portable fallback stages through a recycled buffer. Either way, a segment
+// that fails mid-receive (short read, CRC mismatch) frees its chunk before
+// surfacing the error: the chunk is not yet pinned or listed, so the range
+// would otherwise leak from buffer space.
 func (rd *Reader) readSegment() error {
 	var lenb [4]byte
 	if _, err := io.ReadFull(rd.r, lenb[:]); err != nil {
@@ -281,19 +303,28 @@ func (rd *Reader) readSegment() error {
 		}
 		wireCRC = binary.BigEndian.Uint32(crcb[:])
 	}
-	tmp := make([]byte, n)
-	if _, err := io.ReadFull(rd.r, tmp); err != nil {
-		return rd.decodeWrap(DecodeFrame, 0, noEOF(err))
-	}
-	if err := rd.checkSegment(tmp, wireCRC); err != nil {
-		return err
-	}
-	corruptStaged(tmp)
 	base, err := rd.stageChunk(n)
 	if err != nil {
 		return err
 	}
-	rd.rt.Heap.CopyIn(base, n, tmp)
+	h := rd.rt.Heap
+	if dst := h.ByteView(base, n); dst != nil {
+		if err := rd.fillStaged(dst, wireCRC); err != nil {
+			h.FreeBufferRange(base, n)
+			return err
+		}
+	} else {
+		tmp := getBuf(int(n))[:n]
+		err := rd.fillStaged(tmp, wireCRC)
+		if err == nil {
+			h.CopyIn(base, n, tmp)
+		}
+		putBuf(tmp)
+		if err != nil {
+			h.FreeBufferRange(base, n)
+			return err
+		}
+	}
 
 	startRel := uint64(relBias)
 	if len(rd.chunks) > 0 {
@@ -331,7 +362,11 @@ func (rd *Reader) readCompactSegment() error {
 		}
 		wireCRC = binary.BigEndian.Uint32(crcb[:])
 	}
-	buf := make([]byte, phys)
+	// The compact path cannot avoid a staging buffer — records are
+	// re-inflated, not copied verbatim — but the buffer is recycled across
+	// segments instead of allocated per segment.
+	buf := getBuf(int(phys))[:phys]
+	defer putBuf(buf)
 	if _, err := io.ReadFull(rd.r, buf); err != nil {
 		return rd.decodeWrap(DecodeFrame, 0, noEOF(err))
 	}
@@ -359,6 +394,26 @@ func (rd *Reader) readCompactSegment() error {
 	rd.Bytes += uint64(decoded)
 	ctrChunks.Inc()
 	ctrBytesRecv.Add(int64(decoded))
+	return nil
+}
+
+// checkKlassKinds is the reader-side counterpart of the writer's putKind
+// panic: a klass whose field or element kind has no defined size (a
+// malformed or out-of-sync class definition) would make every sized
+// accessor silently drop bytes, so a stream resolving to one is rejected as
+// a structured decode error before any of its objects are absolutized.
+func checkKlassKinds(k *klass.Klass) error {
+	if k.IsArray {
+		if k.ElemSize() == 0 {
+			return fmt.Errorf("array class %s has element kind %v of undefined size", k.Name, k.Elem)
+		}
+		return nil
+	}
+	for i := range k.Fields {
+		if k.Fields[i].Kind.Size() == 0 {
+			return fmt.Errorf("class %s field %s has kind %v of undefined size", k.Name, k.Fields[i].Name, k.Fields[i].Kind)
+		}
+	}
 	return nil
 }
 
@@ -411,6 +466,9 @@ func (rd *Reader) absolutize() error {
 			if k == nil || tid != rd.lastTID {
 				var err error
 				k, err = rt.KlassByTID(tid)
+				if err == nil {
+					err = checkKlassKinds(k)
+				}
 				if err != nil {
 					return rd.decodeWrap(DecodeType, relOff, err)
 				}

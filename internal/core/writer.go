@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"net"
 	"sync/atomic"
 	"time"
 
@@ -44,9 +45,22 @@ type Writer struct {
 	// heterogeneous transfers (§3.1); nil when layouts match.
 	targetKlass map[int32]*klass.Klass
 
+	// buf is the physical output buffer, drawn from the process-wide pool
+	// and returned on Close; its capacity may exceed limit. All flush and
+	// growth decisions run against limit — the *logical* capacity — so
+	// segmentation (and therefore the wire bytes) is independent of what
+	// the pool happened to hand out.
 	buf       []byte
+	limit     int    // logical buffer capacity governing segment flushes
+	fixedBuf  bool   // WithBufferSize pinned limit explicitly
 	flushed   uint64 // ob.flushedBytes (biased: starts at relBias)
 	allocable uint64 // ob.allocableAddr (biased)
+
+	// hdr and vec are reusable frame-write scratch: the segment header and
+	// the two-element vector handed to net.Buffers, so a flush allocates
+	// nothing and reaches a net.Conn destination as one writev.
+	hdr [13]byte
+	vec net.Buffers
 
 	// pendingTops queues top marks until the next segment flush so that
 	// one root per WriteObject does not force one segment per root; the
@@ -107,7 +121,7 @@ type WriterOption func(*Writer)
 
 // WithBufferSize sets the output-buffer capacity in bytes.
 func WithBufferSize(n int) WriterOption {
-	return func(w *Writer) { w.buf = make([]byte, 0, n) }
+	return func(w *Writer) { w.limit, w.fixedBuf = n, true }
 }
 
 // WithTargetLayout makes the writer emit object images in a different
@@ -145,13 +159,14 @@ func (s *Skyway) NewWriter(w io.Writer, opts ...WriterOption) *Writer {
 	for _, o := range opts {
 		o(wr)
 	}
-	if wr.buf == nil {
+	if !wr.fixedBuf {
 		// Start small and grow geometrically up to DefaultBufferSize:
 		// short streams (one record per stream, as in JSBS) stay cheap
 		// while long shuffle streams still flush in large segments.
-		wr.buf = make([]byte, 0, 4<<10)
+		wr.limit = 4 << 10
 		wr.growBuf = true
 	}
+	wr.buf = getBuf(wr.limit)
 	if wr.target != s.rt.Heap.Layout() {
 		wr.targetKlass = make(map[int32]*klass.Klass)
 	}
@@ -354,37 +369,37 @@ func (w *Writer) cloneInBuffer(rec *grayRec) error {
 	if w.compact {
 		need += 16
 	}
-	if len(w.buf)+need > cap(w.buf) {
-		if w.growBuf && cap(w.buf) < DefaultBufferSize {
-			// Grow in place instead of flushing a tiny segment.
-			next := cap(w.buf) * 2
+	if len(w.buf)+need > w.limit {
+		if w.growBuf && w.limit < DefaultBufferSize {
+			// Grow the logical capacity instead of flushing a tiny segment.
+			next := w.limit * 2
 			for next < len(w.buf)+need {
 				next *= 2
 			}
 			if next > DefaultBufferSize && len(w.buf)+need <= DefaultBufferSize {
 				next = DefaultBufferSize
 			}
-			bigger := make([]byte, len(w.buf), next)
-			copy(bigger, w.buf)
-			w.buf = bigger
+			w.limit = next
+		}
+		if len(w.buf)+need > w.limit {
+			if err := w.flushSegment(); err != nil {
+				return err
+			}
+			if need > w.limit {
+				// Oversized object: give it a dedicated segment.
+				w.limit = need
+			}
 		}
 	}
-	if len(w.buf)+need > cap(w.buf) {
-		if err := w.flushSegment(); err != nil {
-			return err
-		}
-		if need > cap(w.buf) {
-			// Oversized object: give it a dedicated segment.
-			w.buf = make([]byte, 0, need)
-		}
-	}
+	w.ensureCap(len(w.buf) + need)
 
 	var img []byte
 	if w.compact {
 		// Build the standard image in scratch; it is compacted onto
 		// the wire after the header/reference fixups below.
 		if cap(w.scratch) < int(size) {
-			w.scratch = make([]byte, size)
+			putBuf(w.scratch)
+			w.scratch = getBuf(int(size))
 		}
 		img = w.scratch[:size]
 	} else {
@@ -463,6 +478,22 @@ func (w *Writer) cloneInBuffer(rec *grayRec) error {
 	return nil
 }
 
+// ensureCap grows the physical buffer to hold at least n bytes, recycling
+// the old backing through the pool. Physical growth never affects
+// segmentation: every flush decision reads w.limit, not cap(w.buf).
+func (w *Writer) ensureCap(n int) {
+	if cap(w.buf) >= n {
+		return
+	}
+	if n < w.limit {
+		n = w.limit
+	}
+	bigger := getBuf(n)[:len(w.buf)]
+	copy(bigger, w.buf)
+	putBuf(w.buf)
+	w.buf = bigger
+}
+
 // relativize writes the relative address of the object referenced at
 // srcOff into the clone image at dstOff, visiting the referee if new.
 func (w *Writer) relativize(img []byte, obj heap.Addr, srcOff, dstOff uint32) error {
@@ -538,16 +569,33 @@ func (w *Writer) cloneCrossLayout(obj heap.Addr, k *klass.Klass, img []byte) err
 	if err != nil {
 		return err
 	}
-	for i := range img {
-		img[i] = 0
-	}
+	clear(img)
 	if k.IsArray {
 		n := h.ArrayLen(obj)
 		binary.LittleEndian.PutUint64(img[w.target.OffArrayLen():], uint64(n))
 		es := k.ElemSize()
+		if es == 0 {
+			// Same contract as putKind: this is our own heap handing us a
+			// klass with an unsized element kind — a corrupted klass table,
+			// not wire input — so it is a programming error, not an error
+			// return.
+			panic(fmt.Sprintf("skyway: array class %s has element kind of undefined size", k.Name))
+		}
 		srcBase := h.Layout().ArrayHeaderSize()
 		dstBase := w.target.ArrayHeaderSize()
-		for i := 0; i < n; i++ {
+		// Source and target element layouts always agree for primitive and
+		// reference payloads (same kind, little-endian in either header
+		// geometry), so the payload moves as one bulk copy instead of a
+		// per-element load/store loop; es divides the word size, so only the
+		// sub-word tail — at most 7 bytes — goes element by element, and the
+		// cleared image keeps the padding identical to what the loop left.
+		//skyway:allow wiretaint — encode path: obj lives in the local heap, so its length header was written by this process's allocator, not read off the wire
+		total := uint32(n) * es
+		whole := total &^ (klass.WordSize - 1)
+		if whole > 0 {
+			h.CopyOut(obj.Add(srcBase), whole, img[dstBase:dstBase+whole])
+		}
+		for i := int(whole) / int(es); i < n; i++ {
 			v := h.Load(obj, srcBase+uint32(i)*es, k.Elem)
 			putKind(img[dstBase+uint32(i)*es:], k.Elem, v)
 		}
@@ -561,6 +609,12 @@ func (w *Writer) cloneCrossLayout(obj heap.Addr, k *klass.Klass, img []byte) err
 	return nil
 }
 
+// putKind stores v into b with the kind's width. A kind whose size is not
+// one of {1,2,4,8} panics: the klass came from this process's own klass
+// table, so an unsized kind is memory corruption or a construction bug, and
+// silently writing nothing would drop field bytes from the wire image.
+// (The reader-side counterpart, checkKlassKinds, returns a DecodeError
+// instead — there the malformed klass is attacker-reachable input.)
 func putKind(b []byte, k klass.Kind, v uint64) {
 	switch k.Size() {
 	case 1:
@@ -571,6 +625,8 @@ func putKind(b []byte, k klass.Kind, v uint64) {
 		binary.LittleEndian.PutUint32(b, uint32(v))
 	case 8:
 		binary.LittleEndian.PutUint64(b, v)
+	default:
+		panic(fmt.Sprintf("skyway: field kind %v has undefined size", k))
 	}
 }
 
@@ -585,35 +641,28 @@ func (w *Writer) flushSegment() error {
 	}
 	if len(w.buf) > 0 {
 		crc := crc32.Checksum(w.buf, crcTable)
+		hn := 9
 		if w.compact {
-			var hdr [13]byte
-			hdr[0] = frameCompact
-			binary.BigEndian.PutUint32(hdr[1:], uint32(len(w.buf)))
-			binary.BigEndian.PutUint32(hdr[5:], w.decodedInBuf)
-			binary.BigEndian.PutUint32(hdr[9:], crc)
-			if _, err := w.w.Write(hdr[:]); err != nil {
-				return err
-			}
-			if _, err := w.w.Write(w.buf); err != nil {
-				return err
-			}
+			w.hdr[0] = frameCompact
+			binary.BigEndian.PutUint32(w.hdr[1:], uint32(len(w.buf)))
+			binary.BigEndian.PutUint32(w.hdr[5:], w.decodedInBuf)
+			binary.BigEndian.PutUint32(w.hdr[9:], crc)
+			hn = 13
+		} else {
+			w.hdr[0] = frameSegment
+			binary.BigEndian.PutUint32(w.hdr[1:], uint32(len(w.buf)))
+			binary.BigEndian.PutUint32(w.hdr[5:], crc)
+		}
+		if err := w.writeVec(w.hdr[:hn], w.buf); err != nil {
+			return err
+		}
+		if w.compact {
 			w.flushed += uint64(w.decodedInBuf)
 			w.decodedInBuf = 0
-			w.buf = w.buf[:0]
 		} else {
-			var hdr [9]byte
-			hdr[0] = frameSegment
-			binary.BigEndian.PutUint32(hdr[1:], uint32(len(w.buf)))
-			binary.BigEndian.PutUint32(hdr[5:], crc)
-			if _, err := w.w.Write(hdr[:]); err != nil {
-				return err
-			}
-			if _, err := w.w.Write(w.buf); err != nil {
-				return err
-			}
 			w.flushed += uint64(len(w.buf))
-			w.buf = w.buf[:0]
 		}
+		w.buf = w.buf[:0]
 	}
 	for _, rel := range w.pendingTops {
 		if w.verify && rel != 0 && (rel < relBias || rel >= w.flushed) {
@@ -622,15 +671,26 @@ func (w *Writer) flushSegment() error {
 			return fmt.Errorf("skyway: verify: top mark %#x outside flushed relative space [%#x, %#x)",
 				rel, uint64(relBias), w.flushed)
 		}
-		var f [9]byte
-		f[0] = frameTop
-		binary.BigEndian.PutUint64(f[1:], rel)
-		if _, err := w.w.Write(f[:]); err != nil {
+		w.hdr[0] = frameTop
+		binary.BigEndian.PutUint64(w.hdr[1:], rel)
+		if _, err := w.w.Write(w.hdr[:9]); err != nil {
 			return err
 		}
 	}
 	w.pendingTops = w.pendingTops[:0]
 	return nil
+}
+
+// writeVec writes a header+payload pair as one vectored write: a single
+// writev syscall when the destination is a net.Conn (net.Buffers fast path),
+// a plain sequential pair of writes — byte-identical on the wire — for
+// buffered and in-memory destinations. The two-element vector is reused
+// across flushes, so this allocates nothing.
+func (w *Writer) writeVec(hdr, payload []byte) error {
+	w.vec = append(w.vec[:0], hdr, payload)
+	_, err := w.vec.WriteTo(w.w)
+	w.vec = w.vec[:0]
+	return err
 }
 
 // writeTop queues a top mark; it reaches the wire with the next segment
@@ -663,7 +723,15 @@ func (w *Writer) Close() error {
 	if err := w.flushSegment(); err != nil {
 		return err
 	}
-	_, err := w.w.Write([]byte{frameEnd})
+	// The stream is fully on the wire: recycle the output buffer and
+	// compact scratch for the next writer (per-stage encoder reuse — a
+	// concurrent sender opening one encoder per stage draws warm buffers
+	// instead of allocating fresh ones).
+	putBuf(w.buf)
+	putBuf(w.scratch)
+	w.buf, w.scratch = nil, nil
+	w.hdr[0] = frameEnd
+	_, err := w.w.Write(w.hdr[:1])
 	ctrSendStreams.Inc()
 	if !w.openedAt.IsZero() {
 		w.sky.rt.Trace.Emit("transfer", "skyway.send", w.openedAt, time.Since(w.openedAt),

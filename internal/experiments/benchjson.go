@@ -35,6 +35,10 @@ type BenchEntry struct {
 	GCPromotionFG int   `json:"gc_promotion_full_gcs"`
 
 	BufferPeak uint64 `json:"buffer_peak,omitempty"`
+
+	// GBps is the measured throughput for "speed" figure entries
+	// (cmd/speedbench): bytes moved per wall-clock second, best of K passes.
+	GBps float64 `json:"gbps,omitempty"`
 }
 
 // BenchFile is the checked-in trajectory document.

@@ -7,7 +7,9 @@
 // Addresses are byte offsets into the slab; every object is 8-byte aligned
 // and address 0 is the null reference. The slab is stored as []uint64 so
 // that the Skyway writer can CAS baddr words through sync/atomic without
-// unsafe pointer arithmetic.
+// unsafe pointer arithmetic; the one deliberate unsafe construction in the
+// package (view.go) reinterprets word ranges as byte slices on little-endian
+// hosts so bulk transfers are single memcpys instead of per-word loops.
 package heap
 
 import (
@@ -238,10 +240,16 @@ func (h *Heap) Store(a Addr, off uint32, k klass.Kind, v uint64) {
 
 // CopyOut serializes n bytes starting at a into dst, little-endian. n and a
 // must be word-aligned: object images always are. This is the "transfer the
-// entirety of each object" memcpy at the core of Skyway's sender.
+// entirety of each object" memcpy at the core of Skyway's sender — a real
+// memcpy when the host byte order permits a byte view, a per-word encoding
+// loop otherwise.
 func (h *Heap) CopyOut(a Addr, n uint32, dst []byte) {
 	if uint32(len(dst)) < n {
 		panic("heap: CopyOut destination too small")
+	}
+	if src := h.ByteView(a, n); src != nil {
+		copy(dst, src)
+		return
 	}
 	wi := uint64(a) >> 3
 	for i := uint32(0); i < n; i += 8 {
@@ -254,6 +262,10 @@ func (h *Heap) CopyOut(a Addr, n uint32, dst []byte) {
 func (h *Heap) CopyIn(a Addr, n uint32, src []byte) {
 	if uint32(len(src)) < n {
 		panic("heap: CopyIn source too small")
+	}
+	if dst := h.ByteView(a, n); dst != nil {
+		copy(dst, src[:n])
+		return
 	}
 	wi := uint64(a) >> 3
 	for i := uint32(0); i < n; i += 8 {

@@ -1,0 +1,97 @@
+package heap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"skyway/internal/klass"
+)
+
+// TestByteViewRoundTrip pins the contract the decode fast path relies on:
+// the byte view aliases the slab with exactly the little-endian encoding
+// CopyOut defines, in both directions.
+func TestByteViewRoundTrip(t *testing.T) {
+	h := New(DefaultConfig())
+	const n = 64
+	a := h.AllocBuffer(n)
+	if a == Null {
+		t.Fatal("AllocBuffer failed")
+	}
+
+	v := h.ByteView(a, n)
+	if v == nil {
+		t.Skip("no byte view on this host (big-endian)")
+	}
+	if len(v) != n {
+		t.Fatalf("view length %d, want %d", len(v), n)
+	}
+
+	// Write through the view; words must read back as little-endian.
+	src := make([]byte, n)
+	for i := range src {
+		src[i] = byte(i*7 + 3)
+	}
+	copy(v, src)
+	for w := 0; w < n/8; w++ {
+		want := binary.LittleEndian.Uint64(src[w*8:])
+		if got := h.LoadWord(a.Add(uint32(w * 8))); got != want {
+			t.Fatalf("word %d: %#x, want %#x", w, got, want)
+		}
+	}
+
+	// CopyOut must produce the same bytes the view shows, with the view
+	// disabled (portable word loop) and enabled (memcpy path).
+	outFast := make([]byte, n)
+	h.CopyOut(a, n, outFast)
+	prev := SetByteView(false)
+	outSlow := make([]byte, n)
+	h.CopyOut(a, n, outSlow)
+	SetByteView(prev)
+	if !bytes.Equal(outFast, src) || !bytes.Equal(outSlow, src) {
+		t.Fatalf("CopyOut mismatch:\nfast %x\nslow %x\nwant %x", outFast, outSlow, src)
+	}
+
+	// And CopyIn through both paths must land identical slab words.
+	for i := range src {
+		src[i] = byte(200 - i)
+	}
+	h.CopyIn(a, n, src)
+	fastWords := make([]uint64, n/8)
+	for w := range fastWords {
+		fastWords[w] = h.LoadWord(a.Add(uint32(w * 8)))
+	}
+	h.ZeroWords(a, n)
+	prev = SetByteView(false)
+	h.CopyIn(a, n, src)
+	SetByteView(prev)
+	for w := range fastWords {
+		if got := h.LoadWord(a.Add(uint32(w * 8))); got != fastWords[w] {
+			t.Fatalf("CopyIn word %d: fast %#x, slow %#x", w, fastWords[w], got)
+		}
+	}
+}
+
+// TestByteViewBounds pins the panic contract: a view is as bounds-checked as
+// the word accessors it bypasses.
+func TestByteViewBounds(t *testing.T) {
+	h := New(DefaultConfig())
+	a := h.AllocBuffer(64)
+	if h.ByteView(a, 0) != nil {
+		t.Fatal("zero-length view should be nil")
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	if hostLittleEndian && byteViewEnabled {
+		mustPanic("unaligned addr", func() { h.ByteView(a+1, 8) })
+		mustPanic("unaligned len", func() { h.ByteView(a, klass.WordSize-1) })
+		mustPanic("null", func() { h.ByteView(Null, 8) })
+		mustPanic("past slab", func() { h.ByteView(a, 1<<30) })
+	}
+}

@@ -128,6 +128,12 @@ type engineEncoder struct {
 	nextDesc   uint64
 
 	scratch [binary.MaxVarintLen64]byte
+	// bulk is the reusable staging buffer for the schema-compiled
+	// primitive-array fast path (used only when the heap can't hand out a
+	// direct byte view); it grows to the largest array seen and lives as
+	// long as the stream, so steady-state encoding allocates nothing per
+	// array.
+	bulk []byte
 }
 
 func (e *engineEncoder) Bytes() int64  { return e.cw.n + int64(e.w.Buffered()) }
@@ -194,10 +200,25 @@ func (e *engineEncoder) writePrimArray(o heap.Addr, k *klass.Klass, n int) error
 	es := k.ElemSize()
 	base := e.rt.Heap.Layout().ArrayHeaderSize()
 	if e.s.Access == AccessGenerated && !e.s.Varint {
-		// Bulk copy path of schema-compiled serializers.
+		// Bulk copy path of schema-compiled serializers. When the heap can
+		// expose the payload words directly (little-endian hosts) the array
+		// bytes go straight from the slab into the stream writer — no
+		// staging buffer at all; otherwise they stage through the reusable
+		// e.bulk scratch.
 		total := uint32(n) * es
-		buf := make([]byte, klass.Pad(total))
-		e.rt.Heap.CopyOut(o.Add(base), klass.Pad(total), buf)
+		if total == 0 {
+			return nil
+		}
+		pad := klass.Pad(total)
+		if v := e.rt.Heap.ByteView(o.Add(base), pad); v != nil {
+			e.w.Write(v[:total])
+			return nil
+		}
+		if cap(e.bulk) < int(pad) {
+			e.bulk = make([]byte, pad)
+		}
+		buf := e.bulk[:pad]
+		e.rt.Heap.CopyOut(o.Add(base), pad, buf)
 		e.w.Write(buf[:total])
 		return nil
 	}
@@ -362,6 +383,9 @@ type engineDecoder struct {
 	rehash    []*gc.Handle // completed hash maps awaiting rehash
 
 	objects uint64
+	// bulk mirrors engineEncoder.bulk: the reusable primitive-array staging
+	// buffer for hosts where the heap can't be filled in place.
+	bulk []byte
 }
 
 func (d *engineDecoder) Objects() uint64 { return d.objects }
@@ -530,11 +554,30 @@ func (d *engineDecoder) readPrimArray(oh *gc.Handle, k *klass.Klass, n int) erro
 	base := d.rt.Heap.Layout().ArrayHeaderSize()
 	if d.s.Access == AccessGenerated && !d.s.Varint {
 		total := uint32(n) * es
-		buf := make([]byte, klass.Pad(total))
+		if total == 0 {
+			return nil
+		}
+		pad := klass.Pad(total)
+		if v := d.rt.Heap.ByteView(oh.Addr().Add(base), pad); v != nil {
+			// Wire bytes land straight in the slab. The pad tail of the last
+			// word is zeroed explicitly — the staging path always wrote
+			// zeros there, and compact-mode re-encoding would otherwise leak
+			// stale pad bytes onto the wire.
+			if _, err := io.ReadFull(d.r, v[:total]); err != nil {
+				return err
+			}
+			clear(v[total:])
+			return nil
+		}
+		if cap(d.bulk) < int(pad) {
+			d.bulk = make([]byte, pad)
+		}
+		buf := d.bulk[:pad]
+		clear(buf[total:]) // reuse: the pad tail must stay zero
 		if _, err := io.ReadFull(d.r, buf[:total]); err != nil {
 			return err
 		}
-		d.rt.Heap.CopyIn(oh.Addr().Add(base), klass.Pad(total), buf)
+		d.rt.Heap.CopyIn(oh.Addr().Add(base), pad, buf)
 		return nil
 	}
 	for i := 0; i < n; i++ {

@@ -46,6 +46,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"net"
+	"sync"
 
 	"skyway/internal/core"
 	"skyway/internal/fault"
@@ -96,8 +98,49 @@ func tornError(detail string) error {
 	return &core.DecodeError{Kind: core.DecodeChecksum, Detail: detail}
 }
 
-// writeFrame emits one frame. The caller flushes.
+// framePool recycles received frame payloads. Every readFrame used to cost
+// one fresh allocation of the declared length — under a shuffle that is one
+// chunk-sized make per DATA frame, the transport's dominant allocation.
+// Senders never produce frames beyond chunkBytes+4 (the read-side cap is
+// slack for corruption detection), so that is the pooled capacity; the rare
+// larger frame is allocated and left to the GC.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, chunkBytes+4)
+		return &b
+	},
+}
+
+// getFramePayload returns a length-n buffer, recycled when possible.
+func getFramePayload(n uint32) []byte {
+	b := *framePool.Get().(*[]byte)
+	if uint64(cap(b)) < uint64(n) {
+		framePool.Put(&b)
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// releaseFrame hands a readFrame payload back to the pool. Safe on nil. A
+// caller must be completely done with the bytes — the buffer backs the next
+// frame read; anything worth keeping (an ERR detail, chunk bytes) is copied
+// out before release.
+func releaseFrame(b []byte) {
+	if cap(b) == 0 || cap(b) > chunkBytes+4 {
+		return
+	}
+	b = b[:0]
+	framePool.Put(&b)
+}
+
+// writeFrame emits one frame. The caller flushes. A payload over
+// maxFramePayload is rejected before any bytes move: the uint32 length
+// header would truncate silently and desync the stream, turning a local
+// sizing bug into a peer-side "torn stream" misdiagnosis.
 func writeFrame(w io.Writer, op byte, payload []byte) error {
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("transport: frame payload %d bytes over cap %d", len(payload), maxFramePayload)
+	}
 	var h [9]byte
 	h[0] = op
 	binary.BigEndian.PutUint32(h[1:5], uint32(len(payload)))
@@ -123,8 +166,9 @@ func readFrame(r io.Reader) (op byte, payload []byte, err error) {
 		return 0, nil, tornError(fmt.Sprintf("transport frame declares %d payload bytes (cap %d)", ln, maxFramePayload))
 	}
 	want := binary.BigEndian.Uint32(h[5:9])
-	payload = make([]byte, ln)
+	payload = getFramePayload(ln)
 	if _, err := io.ReadFull(r, payload); err != nil {
+		releaseFrame(payload)
 		return 0, nil, noEOF(err)
 	}
 	// Failpoint: the stream is torn in flight — flip one deterministic
@@ -136,6 +180,7 @@ func readFrame(r io.Reader) (op byte, payload []byte, err error) {
 		payload[4+(len(payload)-4)/2] ^= 0xFF
 	}
 	if got := crc32.Checksum(payload, crcTable); got != want {
+		releaseFrame(payload)
 		return 0, nil, tornError(fmt.Sprintf("transport frame CRC %#x, want %#x (stream torn in flight)", got, want))
 	}
 	return op, payload, nil
@@ -156,6 +201,15 @@ const (
 	errKindDecode  = 1
 )
 
+// maxErrDetail caps the detail string an ERR frame carries. An error message
+// that embeds megabytes of context would push the ERR frame past
+// maxFramePayload — the peer would then misdiagnose the oversized frame as a
+// torn stream and lose the real error. Clamped details end in errTruncMark.
+const (
+	maxErrDetail = 64 << 10
+	errTruncMark = "... [truncated]"
+)
+
 // encodeErr builds an ERR frame payload from a server-side failure,
 // preserving the decode-error shape across the wire.
 func encodeErr(err error) []byte {
@@ -164,6 +218,9 @@ func encodeErr(err error) []byte {
 		kind = errKindDecode
 	}
 	detail := err.Error()
+	if len(detail) > maxErrDetail {
+		detail = detail[:maxErrDetail-len(errTruncMark)] + errTruncMark
+	}
 	p := make([]byte, 5, 5+len(detail))
 	p[0] = kind
 	binary.BigEndian.PutUint32(p[1:5], uint32(len(detail)))
@@ -191,7 +248,14 @@ func decodeErrFrame(payload []byte) error {
 // window: at most window chunks are outstanding before the sender blocks on
 // the peer's cumulative ACKs. w must be flushable (bufio) — the sender
 // flushes before every blocking ACK read, or both sides would deadlock.
-func sendBlock(w *bufio.Writer, r io.Reader, block []byte, window int) error {
+//
+// conn, when non-nil, is the raw connection underneath w: each DATA frame is
+// then handed to the kernel as one vectored write (frame header + chunk
+// slice straight out of block), so a chunk crosses the transport without
+// ever being copied into an intermediate frame buffer. With conn nil the
+// same two pieces go through w sequentially — byte-identical on the wire,
+// just without the writev coalescing.
+func sendBlock(w *bufio.Writer, conn io.Writer, r io.Reader, block []byte, window int) error {
 	if window < 1 {
 		window = 1
 	}
@@ -206,6 +270,7 @@ func sendBlock(w *bufio.Writer, r io.Reader, block []byte, window int) error {
 		if err != nil {
 			return err
 		}
+		defer releaseFrame(payload)
 		if op == opErr {
 			return decodeErrFrame(payload)
 		}
@@ -220,15 +285,41 @@ func sendBlock(w *bufio.Writer, r io.Reader, block []byte, window int) error {
 		outstanding--
 		return nil
 	}
-	var hdr [4]byte
+	// One reusable 13-byte header holds the frame header (9 bytes) and the
+	// chunk index word (4 bytes); with the CRC folded over index and chunk
+	// incrementally, the wire bytes are exactly those of
+	// writeFrame(w, opData, append(idx, chunk...)) minus the append copy.
+	var h [13]byte
+	h[0] = opData
+	vec := make(net.Buffers, 0, 2)
 	for i := 0; i < chunks; i++ {
 		lo, hi := i*chunkBytes, (i+1)*chunkBytes
 		if hi > len(block) {
 			hi = len(block)
 		}
-		binary.BigEndian.PutUint32(hdr[:], uint32(i))
-		if err := writeFrame(w, opData, append(hdr[:4:4], block[lo:hi]...)); err != nil {
-			return err
+		body := block[lo:hi]
+		binary.BigEndian.PutUint32(h[1:5], uint32(4+len(body)))
+		binary.BigEndian.PutUint32(h[9:13], uint32(i))
+		crc := crc32.Update(0, crcTable, h[9:13])
+		crc = crc32.Update(crc, crcTable, body)
+		binary.BigEndian.PutUint32(h[5:9], crc)
+		if conn != nil {
+			// Drain the buffered writer first so bytes stay ordered, then
+			// header + chunk leave in one writev.
+			if err := w.Flush(); err != nil {
+				return err
+			}
+			vec = append(vec[:0], h[:], body)
+			if _, err := vec.WriteTo(conn); err != nil {
+				return err
+			}
+		} else {
+			if _, err := w.Write(h[:]); err != nil {
+				return err
+			}
+			if _, err := w.Write(body); err != nil {
+				return err
+			}
 		}
 		outstanding++
 		if outstanding >= window {
@@ -248,7 +339,9 @@ func sendBlock(w *bufio.Writer, r io.Reader, block []byte, window int) error {
 // recvBlock receives a block announced as total bytes in chunks DATA
 // frames, acknowledging each chunk (the sender's credit). Both counts were
 // read off the wire, so they are bounds-checked at full width before any
-// buffer is sized from them.
+// buffer is sized from them. The assembled block escapes to the caller (it
+// lands in a server's block table or a fetcher's hands), so it is a real
+// allocation; only the per-chunk frame payloads recycle.
 func recvBlock(w *bufio.Writer, r io.Reader, total uint64, chunks uint32) ([]byte, error) {
 	if total > maxBlockBytes {
 		return nil, tornError(fmt.Sprintf("transport block declares %d bytes (cap %d)", total, maxBlockBytes))
@@ -264,15 +357,19 @@ func recvBlock(w *bufio.Writer, r io.Reader, total uint64, chunks uint32) ([]byt
 			return nil, err
 		}
 		if op != opData || len(payload) < 4 {
+			releaseFrame(payload)
 			return nil, fmt.Errorf("transport: want DATA, got frame %q", op)
 		}
 		if idx := binary.BigEndian.Uint32(payload[:4]); idx != i {
+			releaseFrame(payload)
 			return nil, fmt.Errorf("transport: DATA chunk %d out of order, want %d", idx, i)
 		}
 		if uint64(len(block))+uint64(len(payload)-4) > total {
+			releaseFrame(payload)
 			return nil, tornError("transport block longer than declared")
 		}
 		block = append(block, payload[4:]...)
+		releaseFrame(payload)
 		// Failpoint: a slow peer — the receiver stalls before granting the
 		// sender's next credit, so the window turns the stall into real
 		// sender-side backpressure.

@@ -157,6 +157,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			total := binary.BigEndian.Uint64(payload[12:20])
 			chunks := binary.BigEndian.Uint32(payload[20:24])
+			releaseFrame(payload)
 			block, err := recvBlock(w, r, total, chunks)
 			if err != nil {
 				s.sendErr(w, err)
@@ -176,6 +177,7 @@ func (s *Server) handle(conn net.Conn) {
 				src: binary.BigEndian.Uint32(payload[4:8]),
 				dst: binary.BigEndian.Uint32(payload[8:12]),
 			}
+			releaseFrame(payload)
 			block, ok := s.load(id)
 			if !ok {
 				if err := writeFrame(w, opNil, nil); err != nil {
@@ -187,7 +189,7 @@ func (s *Server) handle(conn net.Conn) {
 				continue
 			}
 			ctrSrvFetches.Inc()
-			if err := s.sendBlockWithHdr(w, r, block); err != nil {
+			if err := s.sendBlockWithHdr(w, r, conn, block); err != nil {
 				return
 			}
 		case opDrop:
@@ -200,6 +202,7 @@ func (s *Server) handle(conn net.Conn) {
 				src: binary.BigEndian.Uint32(payload[4:8]),
 				dst: binary.BigEndian.Uint32(payload[8:12]),
 			})
+			releaseFrame(payload)
 			if err := s.sendOK(w); err != nil {
 				return
 			}
@@ -211,6 +214,7 @@ func (s *Server) handle(conn net.Conn) {
 			seq := binary.BigEndian.Uint32(payload[0:4])
 			total := binary.BigEndian.Uint64(payload[4:12])
 			chunks := binary.BigEndian.Uint32(payload[12:16])
+			releaseFrame(payload)
 			block, err := recvBlock(w, r, total, chunks)
 			if err != nil {
 				s.sendErr(w, err)
@@ -228,6 +232,7 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			seq := binary.BigEndian.Uint32(payload)
+			releaseFrame(payload)
 			s.mu.Lock()
 			block, ok := s.bcasts[seq]
 			s.mu.Unlock()
@@ -240,7 +245,7 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				continue
 			}
-			if err := s.sendBlockWithHdr(w, r, block); err != nil {
+			if err := s.sendBlockWithHdr(w, r, conn, block); err != nil {
 				return
 			}
 		default:
@@ -251,15 +256,16 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // sendBlockWithHdr announces a block ('H' total chunks) and streams it
-// under the credit window, reading the client's ACKs.
-func (s *Server) sendBlockWithHdr(w *bufio.Writer, r *bufio.Reader, block []byte) error {
+// under the credit window, reading the client's ACKs. conn is the raw
+// connection under w, so DATA chunks leave as vectored writes.
+func (s *Server) sendBlockWithHdr(w *bufio.Writer, r *bufio.Reader, conn net.Conn, block []byte) error {
 	var hdr [12]byte
 	binary.BigEndian.PutUint64(hdr[0:8], uint64(len(block)))
 	binary.BigEndian.PutUint32(hdr[8:12], uint32((len(block)+chunkBytes-1)/chunkBytes))
 	if err := writeFrame(w, opHdr, hdr[:]); err != nil {
 		return err
 	}
-	return sendBlock(w, r, block, defaultWindow)
+	return sendBlock(w, conn, r, block, defaultWindow)
 }
 
 func (s *Server) sendOK(w *bufio.Writer) error {

@@ -88,7 +88,7 @@ func (t *Transport) Broadcast(seq int, payload []byte) (time.Duration, error) {
 			if err := writeFrame(pc.w, opBPut, hdr[:]); err != nil {
 				return err
 			}
-			if err := sendBlock(pc.w, pc.r, payload, defaultWindow); err != nil {
+			if err := sendBlock(pc.w, pc.conn, pc.r, payload, defaultWindow); err != nil {
 				return err
 			}
 			return awaitOK(pc)
@@ -147,6 +147,7 @@ func (t *Transport) fetchFramed(addr string, op byte, req []byte) ([]byte, error
 		if err != nil {
 			return err
 		}
+		defer releaseFrame(payload)
 		switch rop {
 		case opNil:
 			return nil
@@ -190,7 +191,7 @@ func (s *tcpShuffle) Put(src, dst int, block []byte) (time.Duration, error) {
 		if err := writeFrame(pc.w, opPut, hdr[:]); err != nil {
 			return err
 		}
-		if err := sendBlock(pc.w, pc.r, block, defaultWindow); err != nil {
+		if err := sendBlock(pc.w, pc.conn, pc.r, block, defaultWindow); err != nil {
 			return err
 		}
 		return awaitOK(pc)
@@ -248,6 +249,7 @@ func awaitOK(pc *poolConn) error {
 	if err != nil {
 		return err
 	}
+	defer releaseFrame(payload)
 	switch op {
 	case opOK:
 		return nil
