@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet skywayvet vet-taint sarif lint-fixtures race race-parallel verify chaos cluster-test fuzz-smoke check check-parallel bench-json bench-cmp speed-json speed-cmp
+.PHONY: build test vet skywayvet vet-taint sarif lint-fixtures race race-parallel verify chaos cluster-test arena-test fuzz-smoke check check-parallel bench-json bench-cmp speed-json speed-cmp
 
 build:
 	$(GO) build ./...
@@ -58,11 +58,22 @@ cluster-test:
 	$(GO) test -race -run 'TestClusterWordCountOverTCPProcesses|TestTCPChaosMatrix|TestConformance|TestTornStream|TestSlowPeer|TestDialFailpoint|TestPooled' \
 		./internal/dataflow/ ./internal/transport/ ./internal/transport/tcp/
 
+# The arena suite: lazy-decode equivalence (eager vs. arena bit-identity,
+# promotion-heavy variants), handle bounds/lifecycle unit tests, the
+# steady-state allocation and full-GC-scan-independence gates, the arena
+# chaos matrix, and a full SKYWAY_ARENA=1 sweep of the core and dataflow
+# packages under the race detector with the heap verifier armed.
+arena-test:
+	SKYWAY_VERIFY=1 $(GO) test -race ./internal/arena/ ./internal/transport/
+	SKYWAY_VERIFY=1 $(GO) test -race -run 'Arena' ./internal/heap/ ./internal/core/ ./internal/fault/
+	SKYWAY_ARENA=1 SKYWAY_VERIFY=1 $(GO) test -race ./internal/core/ ./internal/serial/ ./internal/dataflow/
+
 # Native fuzzing, smoke duration per target (override FUZZTIME for a soak).
 FUZZTIME ?= 30s
 
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzReaderDecode -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzArenaHandle -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -run '^$$' -fuzz FuzzTupleCodec -fuzztime $(FUZZTIME) ./internal/batch/
 	$(GO) test -run '^$$' -fuzz FuzzBaddrRoundTrip -fuzztime $(FUZZTIME) ./internal/heap/
 

@@ -78,3 +78,31 @@ func suppressed(rt *vm.Runtime, k *klass.Klass, obj heap.Addr) heap.Addr {
 	_ = rt.GetInt(obj, k.FieldByName("f"))
 	return other
 }
+
+// --- arena promotion contract -------------------------------------------------
+//
+// The arena's copy-on-write promotion funnel allocates in pinned buffer
+// space (Heap.AllocBuffer), which never triggers a collection. That is a
+// design contract the whole accessor layer rests on: typed setters promote
+// through it, so raw addresses stay valid across a setter, across Promote
+// itself, and across AllocBuffer — a write barrier is not a safepoint. If
+// promotion ever routes through a young-generation allocation these cases
+// start failing, loudly flagging every setter in the module as mayGC.
+
+func goodSetterAcross(rt *vm.Runtime, k *klass.Klass, obj, other heap.Addr) int64 {
+	rt.SetInt(other, k.FieldByName("f"), 7)
+	return rt.GetInt(obj, k.FieldByName("f"))
+}
+
+func goodPromoteAcross(rt *vm.Runtime, k *klass.Klass, obj, other heap.Addr) int64 {
+	if _, err := rt.Promote(other); err != nil {
+		return 0
+	}
+	return rt.GetInt(obj, k.FieldByName("f"))
+}
+
+func goodAllocBufferAcross(rt *vm.Runtime, k *klass.Klass, obj heap.Addr) heap.Addr {
+	dst := rt.Heap.AllocBuffer(64)
+	_ = rt.GetInt(obj, k.FieldByName("f"))
+	return dst
+}

@@ -1,0 +1,36 @@
+package arena
+
+// Blob is a single standalone off-heap allocation: the transport layer's
+// unit of arena-side block storage. Serialized shuffle blocks parked in a
+// block store between Put and Drop are bulk data the collector (managed or
+// Go) has no business scanning; a Blob keeps them in their own anonymous
+// mapping, freed as a unit when the block is dropped.
+type Blob struct {
+	b      []byte
+	mapped bool
+}
+
+// NewBlob stores data in a fresh Blob. With offHeap set the bytes are
+// copied into an anonymous mapping (falling back to the Go slice when the
+// platform or the mapping refuses); otherwise the slice is adopted as is.
+func NewBlob(data []byte, offHeap bool) *Blob {
+	if offHeap && len(data) > 0 {
+		if m, err := mmapAnon(len(data)); err == nil {
+			copy(m, data)
+			return &Blob{b: m, mapped: true}
+		}
+	}
+	return &Blob{b: data}
+}
+
+// Bytes returns the stored block. The view is invalidated by Free.
+func (b *Blob) Bytes() []byte { return b.b }
+
+// Free releases the blob's mapping. The blob must not be read afterwards.
+func (b *Blob) Free() {
+	if b.mapped {
+		munmap(b.b)
+	}
+	b.b = nil
+	b.mapped = false
+}

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package arena
+
+// Fallback for platforms without anonymous mmap: plain Go allocations. The
+// lifecycle (and the use-after-retire discipline) is identical; only the
+// "outside the runtime heap" property is approximated.
+func mmapAnon(n int) ([]byte, error) { return make([]byte, n), nil }
+
+func munmap(b []byte) {}

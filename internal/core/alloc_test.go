@@ -168,3 +168,129 @@ func TestDecodeSteadyStateAllocs(t *testing.T) {
 			len(wire), bpo, budget)
 	}
 }
+
+// TestArenaDecodeSteadyStateAllocs is the lazy-path counterpart: received
+// segments stage into anonymous mappings outside both the managed heap and
+// the Go heap, so an arena decode pass must allocate (a) zero managed-heap
+// bytes — no pinned chunks, no young objects, no collections — and (b) only
+// the Reader's fixed Go-side state, never segment-sized buffers.
+func TestArenaDecodeSteadyStateAllocs(t *testing.T) {
+	skipIfInstrumented(t)
+	snd, rcv, sky := testCluster(t)
+	roots := allocCorpus(t, snd, 8, 64<<10)
+
+	var buf bytes.Buffer
+	sky.ShuffleStart()
+	w := sky.NewWriter(&buf)
+	for _, a := range roots {
+		if err := w.WriteObject(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wire := append([]byte(nil), buf.Bytes()...)
+
+	pass := func() {
+		r := NewReader(rcv, bytes.NewReader(wire), WithArena())
+		for {
+			if _, err := r.ReadObject(); err != nil {
+				if err == io.EOF {
+					break
+				}
+				panic(err)
+			}
+		}
+		r.Free()
+	}
+	pass() // warm the pools
+
+	before := rcv.GC.Stats()
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pass()
+		}
+	})
+	after := rcv.GC.Stats()
+
+	if used := rcv.Heap.BufferUsed(); used != 0 {
+		t.Errorf("arena decode left %d bytes of pinned buffer space in use; segments must stage off-heap", used)
+	}
+	if after.Scavenges != before.Scavenges || after.FullGCs != before.FullGCs {
+		t.Errorf("arena decode triggered collections (scavenges %d→%d, full GCs %d→%d); the managed heap must stay untouched",
+			before.Scavenges, after.Scavenges, before.FullGCs, after.FullGCs)
+	}
+	const budget = 128 << 10
+	if bpo := res.AllocedBytesPerOp(); bpo > budget {
+		t.Errorf("arena decode pass over a %d-byte corpus allocates %d bytes/op, budget %d (segments must land in the region mapping)",
+			len(wire), bpo, budget)
+	}
+}
+
+// TestFullGCScanIndependentOfArenaBytes pins the tentpole's GC payoff: a
+// full collection's root-scan work must not grow with resident arena bytes.
+// Eagerly decoded streams park their objects in pinned chunks the collector
+// walks on every full GC; the same streams held in arena regions contribute
+// zero pinned-object scans — whether one stream is resident or four.
+func TestFullGCScanIndependentOfArenaBytes(t *testing.T) {
+	snd, rcv, sky := testCluster(t)
+	roots := allocCorpus(t, snd, 2, 16<<10)
+
+	var buf bytes.Buffer
+	sky.ShuffleStart()
+	w := sky.NewWriter(&buf)
+	for _, a := range roots {
+		if err := w.WriteObject(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wire := append([]byte(nil), buf.Bytes()...)
+
+	decode := func(rt *vm.Runtime, opts ...ReaderOption) *Reader {
+		t.Helper()
+		r := NewReader(rt, bytes.NewReader(wire), opts...)
+		for {
+			if _, err := r.ReadObject(); err != nil {
+				if err == io.EOF {
+					return r
+				}
+				t.Fatal(err)
+			}
+		}
+	}
+	scansAfterFullGC := func(rt *vm.Runtime) uint64 {
+		before := rt.GC.Stats().PinnedScanned
+		rt.GC.FullGC()
+		return rt.GC.Stats().PinnedScanned - before
+	}
+
+	// Eager baseline: pinned chunks resident, every object walked as a root.
+	eagerRd := decode(rcv)
+	if eager := scansAfterFullGC(rcv); eager == 0 {
+		t.Fatal("eager decode left no pinned objects for the full GC to scan; the baseline is broken")
+	}
+	eagerRd.Free() // unpin the eager chunks so only arena residency remains
+
+	// One arena stream resident vs. four. Zero pinned scans both ways —
+	// scan work is independent of what the regions hold.
+	for _, streams := range []int{1, 4} {
+		var rds []*Reader
+		for i := 0; i < streams; i++ {
+			rds = append(rds, decode(rcv, WithArena()))
+		}
+		if rcv.Arena.Bytes() == 0 {
+			t.Fatal("arena decode staged nothing")
+		}
+		if scans := scansAfterFullGC(rcv); scans != 0 {
+			t.Errorf("full GC over %d resident arena streams (%d bytes) scanned %d pinned objects, want 0",
+				streams, rcv.Arena.Bytes(), scans)
+		}
+		for _, r := range rds {
+			r.Free()
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"skyway/internal/fault"
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+	"skyway/internal/vm"
+)
+
+// cachedHash reads the identity hash cached in an object's mark word without
+// assigning one — for arena-resident objects straight from the relativized
+// image, for promoted or managed objects from the word slab — so the
+// equivalence walk can compare hash state across decode modes.
+func cachedHash(rt *vm.Runtime, a heap.Addr) (uint32, bool) {
+	if heap.IsArenaAddr(a) {
+		reg := rt.Arena.MustRegion(heap.ArenaRegionOf(a))
+		if p := reg.PromotedAddr(heap.ArenaRelOf(a)); p != heap.Null {
+			return rt.Heap.HashOf(p)
+		}
+		b, err := reg.Resolve(heap.ArenaRelOf(a)+uint64(klass.OffMark), 8)
+		if err != nil {
+			panic(err)
+		}
+		return heap.MarkHash(heap.LoadBytes(b, 0, klass.Int64))
+	}
+	return rt.Heap.HashOf(a)
+}
+
+// TestArenaEquivalenceQuick is the arena counterpart of the compact
+// equivalence property: for any random Cell graph, the lazy (arena) decode
+// must be observationally identical to eager absolutization — same
+// structure, same field values, same cached hashes — reading entirely
+// through bounds-checked handles into the relativized image. A second phase
+// then mutates every reachable cell identically on both sides, driving the
+// copy-on-write promotion funnel, and re-walks: lazy-after-promotion must
+// still match eager.
+func TestArenaEquivalenceQuick(t *testing.T) {
+	snd, rcv, sky := testCluster(t)
+	ck := snd.MustLoad("Cell")
+	pk := snd.MustLoad("Pair")
+	vF, nF := ck.FieldByName("v"), ck.FieldByName("next")
+	rck := rcv.MustLoad("Cell")
+	rpk := rcv.MustLoad("Pair")
+	rvF, rnF := rck.FieldByName("v"), rck.FieldByName("next")
+	raF, rbF := rpk.FieldByName("a"), rpk.FieldByName("b")
+
+	f := func(vals []float64, links []uint8, hashSel uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 25 {
+			vals = vals[:25]
+		}
+		handles := make([]interface {
+			Addr() heap.Addr
+			Release()
+		}, len(vals))
+		for i, v := range vals {
+			c := snd.MustNew(ck)
+			snd.SetDouble(c, vF, v)
+			handles[i] = snd.Pin(c)
+		}
+		defer func() {
+			for _, h := range handles {
+				h.Release()
+			}
+		}()
+		for i := range handles {
+			if len(links) == 0 {
+				break
+			}
+			tgt := int(links[i%len(links)]) % len(handles)
+			snd.SetRef(handles[i].Addr(), nF, handles[tgt].Addr())
+		}
+		for i := range handles {
+			if (uint8(i)+hashSel)%3 == 0 {
+				snd.HashCode(handles[i].Addr())
+			}
+		}
+		root := snd.MustNew(pk)
+		snd.SetRef(root, pk.FieldByName("a"), handles[0].Addr())
+		snd.SetRef(root, pk.FieldByName("b"), handles[len(handles)-1].Addr())
+		rootPin := snd.Pin(root)
+		defer rootPin.Release()
+
+		sky.ShuffleStart()
+		var buf bytes.Buffer
+		w := sky.NewWriter(&buf, WithBufferSize(256))
+		if err := w.WriteObject(rootPin.Addr()); err != nil {
+			return false
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		wire := buf.Bytes()
+
+		eagerRoot, err := NewReader(rcv, bytes.NewReader(wire)).ReadObject()
+		if err != nil {
+			return false
+		}
+		ard := NewReader(rcv, bytes.NewReader(wire), WithArena())
+		arenaRoot, err := ard.ReadObject()
+		if err != nil {
+			return false
+		}
+		// The lazy path must actually be lazy: the root is a tagged handle
+		// into a resident region, not a heap copy.
+		if !heap.IsArenaAddr(arenaRoot) {
+			t.Fatal("arena decode returned an untagged (managed) root")
+		}
+		if reg := ard.ArenaRegion(); reg == nil || reg.Bytes() == 0 {
+			t.Fatal("arena decode staged no region bytes")
+		}
+
+		type pairT struct{ a, b heap.Addr }
+		var walk func(seen map[pairT]bool, a, b heap.Addr, depth int, mutate bool) bool
+		walk = func(seen map[pairT]bool, a, b heap.Addr, depth int, mutate bool) bool {
+			if depth > 120 {
+				return true
+			}
+			if (a == heap.Null) != (b == heap.Null) {
+				return false
+			}
+			if a == heap.Null || seen[pairT{a, b}] {
+				return true
+			}
+			seen[pairT{a, b}] = true
+			if rcv.KlassOf(a) != rcv.KlassOf(b) {
+				return false
+			}
+			ha, oka := cachedHash(rcv, a)
+			hb, okb := cachedHash(rcv, b)
+			if oka != okb || ha != hb {
+				return false
+			}
+			if rcv.KlassOf(a) == rck {
+				va, vb := rcv.GetDouble(a, rvF), rcv.GetDouble(b, rvF)
+				if va != vb {
+					return false
+				}
+				if mutate {
+					// Identical mutation on both sides: the arena side
+					// promotes on this first write.
+					rcv.SetDouble(a, rvF, va*2+1)
+					rcv.SetDouble(b, rvF, va*2+1)
+				}
+				return walk(seen, rcv.GetRef(a, rnF), rcv.GetRef(b, rnF), depth+1, mutate)
+			}
+			return walk(seen, rcv.GetRef(a, raF), rcv.GetRef(b, raF), depth+1, mutate) &&
+				walk(seen, rcv.GetRef(a, rbF), rcv.GetRef(b, rbF), depth+1, mutate)
+		}
+		if !walk(make(map[pairT]bool), eagerRoot, arenaRoot, 0, false) {
+			return false
+		}
+		// Promotion-heavy phase: mutate every reachable cell mid-stage, then
+		// verify the mixed promoted/lazy graph still matches eager.
+		if !walk(make(map[pairT]bool), eagerRoot, arenaRoot, 0, true) {
+			return false
+		}
+		if ard.ArenaRegion().Promotions() == 0 {
+			t.Fatal("mutating every cell promoted nothing")
+		}
+		return walk(make(map[pairT]bool), eagerRoot, arenaRoot, 0, false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArenaCompactEquivalence: Arena is a pure receiver-side policy, so it
+// composes with the compact wire encoding — a compact stream decoded lazily
+// must match the same stream decoded eagerly.
+func TestArenaCompactEquivalence(t *testing.T) {
+	snd, rcv, sky := testCluster(t)
+	ck := snd.MustLoad("Cell")
+	vF, nF := ck.FieldByName("v"), ck.FieldByName("next")
+
+	var prev heap.Addr
+	pins := make([]interface{ Release() }, 0, 8)
+	defer func() {
+		for _, p := range pins {
+			p.Release()
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		c := snd.MustNew(ck)
+		snd.SetDouble(c, vF, float64(i)*1.5)
+		snd.SetRef(c, nF, prev)
+		h := snd.Pin(c)
+		pins = append(pins, h)
+		prev = h.Addr()
+	}
+
+	sky.ShuffleStart()
+	var buf bytes.Buffer
+	w := sky.NewWriter(&buf, WithCompactHeaders(), WithBufferSize(128))
+	if err := w.WriteObject(prev); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+
+	eager, err := NewReader(rcv, bytes.NewReader(wire)).ReadObject()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := NewReader(rcv, bytes.NewReader(wire), WithArena()).ReadObject()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rck := rcv.MustLoad("Cell")
+	a, b := eager, lazy
+	for a != heap.Null || b != heap.Null {
+		if (a == heap.Null) != (b == heap.Null) {
+			t.Fatal("compact arena chain shorter or longer than eager")
+		}
+		if va, vb := rcv.GetDouble(a, rck.FieldByName("v")), rcv.GetDouble(b, rck.FieldByName("v")); va != vb {
+			t.Fatalf("compact arena value %v, eager %v", vb, va)
+		}
+		a = rcv.GetRef(a, rck.FieldByName("next"))
+		b = rcv.GetRef(b, rck.FieldByName("next"))
+	}
+}
+
+// TestArenaFreeRetiresRegion: Free drops the decoder's reference and the
+// region — no other references outstanding — is reclaimed from the space.
+func TestArenaFreeRetiresRegion(t *testing.T) {
+	snd, rcv, sky := testCluster(t)
+	wire := encodeOneDate(t, snd, sky)
+	rd := NewReader(rcv, bytes.NewReader(wire), WithArena())
+	if _, err := rd.ReadObject(); err != nil {
+		t.Fatal(err)
+	}
+	reg := rd.ArenaRegion()
+	if reg == nil || reg.Retired() {
+		t.Fatal("decode did not leave a live region")
+	}
+	if rcv.Arena.Regions() != 1 {
+		t.Fatalf("space holds %d regions, want 1", rcv.Arena.Regions())
+	}
+	rd.Free()
+	if !reg.Retired() {
+		t.Fatal("Free did not retire the sole-reference region")
+	}
+	if rcv.Arena.Regions() != 0 {
+		t.Fatalf("space holds %d regions after Free, want 0", rcv.Arena.Regions())
+	}
+}
+
+// TestArenaUseAfterRetirePanics is the lifecycle regression test: reading
+// through a tagged handle whose region was force-retired (the stage-epoch
+// backstop firing while someone still holds a record) must panic loudly
+// naming the retired region — never touch unmapped memory, never return
+// stale bytes.
+func TestArenaUseAfterRetirePanics(t *testing.T) {
+	snd, rcv, sky := testCluster(t)
+	wire := encodeOneDate(t, snd, sky)
+	rd := NewReader(rcv, bytes.NewReader(wire), WithArena())
+	root, err := rd.ReadObject()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd.ArenaRegion().ForceRetire()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("read through a retired region's handle did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "retired region") {
+			t.Fatalf("use-after-retire panic %v does not name the retired region", r)
+		}
+	}()
+	dk := rcv.MustLoad("Date")
+	rcv.GetInt(root, dk.FieldByName("month"))
+}
+
+// TestArenaPromoteFailpoint: the arena.promote.fail failpoint surfaces as a
+// structured *fault.Error from the error-returning Promote funnel, and the
+// object stays readable (unpromoted) afterwards.
+func TestArenaPromoteFailpoint(t *testing.T) {
+	snd, rcv, sky := testCluster(t)
+	wire := encodeOneDate(t, snd, sky)
+	rd := NewReader(rcv, bytes.NewReader(wire), WithArena())
+	defer rd.Free()
+	root, err := rd.ReadObject()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Configure(fault.ArenaPromoteFail + ":on*times=1"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.Reset)
+	if _, err := Promote(rcv, root); err == nil {
+		t.Fatal("promotion under arena.promote.fail reported success")
+	} else {
+		var fe *fault.Error
+		if !errors.As(err, &fe) {
+			t.Fatalf("promotion failure is %T, want *fault.Error in the chain: %v", err, err)
+		}
+	}
+	dk := rcv.MustLoad("Date")
+	if got := rcv.GetInt(root, dk.FieldByName("month")); got != 3 {
+		t.Fatalf("object unreadable after failed promotion: month = %d", got)
+	}
+	// The point has burned its one firing; the retry succeeds and the
+	// promoted copy serves subsequent reads.
+	p, err := Promote(rcv, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heap.IsArenaAddr(p) || p == heap.Null {
+		t.Fatalf("promotion returned %#x, want a managed address", uint64(p))
+	}
+	if got := rcv.GetInt(root, dk.FieldByName("month")); got != 3 {
+		t.Fatalf("promoted copy disagrees: month = %d", got)
+	}
+}
+
+// encodeOneDate encodes the canonical two-object Date graph and returns the
+// wire bytes.
+func encodeOneDate(t *testing.T, snd *vm.Runtime, sky *Skyway) []byte {
+	t.Helper()
+	dk := snd.MustLoad("Date")
+	yk := snd.MustLoad("Year4D")
+	yo := snd.MustNew(yk)
+	snd.SetInt(yo, yk.FieldByName("value"), 2018)
+	yp := snd.Pin(yo)
+	defer yp.Release()
+	do := snd.MustNew(dk)
+	snd.SetRef(do, dk.FieldByName("year"), yp.Addr())
+	snd.SetInt(do, dk.FieldByName("month"), 3)
+	snd.SetInt(do, dk.FieldByName("day"), 24)
+	dp := snd.Pin(do)
+	defer dp.Release()
+
+	sky.ShuffleStart()
+	var buf bytes.Buffer
+	w := sky.NewWriter(&buf)
+	if err := w.WriteObject(dp.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

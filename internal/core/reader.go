@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"skyway/internal/arena"
 	"skyway/internal/fault"
 	"skyway/internal/gc"
 	"skyway/internal/heap"
@@ -51,9 +52,15 @@ type Reader struct {
 	checksummed bool // wire v2: per-segment CRC-32C
 
 	chunks []chunk // ascending startRel; the relative→absolute table
-	parsed int     // chunks[:parsed] are absolutized
+	parsed int     // chunks[:parsed] are absolutized (or arena-validated)
 
 	pins []*gc.PinnedRange
+
+	// arena selects the lazy-absolutization decode path (arena_reader.go):
+	// segments stage into region instead of pinned buffer space, roots come
+	// back as tagged arena addresses.
+	arena  bool
+	region *arena.Region
 
 	// One-entry klass cache: shuffle streams carry long runs of one
 	// record class, so the TID→klass map lookup usually short-circuits.
@@ -79,6 +86,9 @@ type chunk struct {
 	startRel uint64
 	base     heap.Addr
 	size     uint32
+	// seg is the arena-mode segment image (base stays Null); eager chunks
+	// leave it nil.
+	seg []byte
 	// done tracks absolutization progress within the chunk: a segment can
 	// end mid-graph (the sender flushed because its output buffer filled,
 	// §4.2 streaming), leaving objects whose references point beyond the
@@ -89,12 +99,15 @@ type chunk struct {
 }
 
 // NewReader opens a Skyway object input stream over r for runtime rt.
-func NewReader(rt *vm.Runtime, r io.Reader) *Reader {
+func NewReader(rt *vm.Runtime, r io.Reader, opts ...ReaderOption) *Reader {
 	br, ok := r.(*bufio.Reader)
 	if !ok {
 		br = bufio.NewReaderSize(r, 16<<10)
 	}
 	rd := &Reader{rt: rt, r: br, verify: verify.Enabled()}
+	for _, opt := range opts {
+		opt(rd)
+	}
 	if obs.Enabled() {
 		rd.openedAt = time.Now()
 	}
@@ -148,7 +161,12 @@ func (rd *Reader) readObject() (heap.Addr, error) {
 			if _, err := io.ReadFull(rd.r, b[:]); err != nil {
 				return heap.Null, rd.decodeWrap(DecodeFrame, 0, noEOF(err))
 			}
-			if err := rd.absolutize(); err != nil {
+			if rd.arena {
+				err = rd.validateArena()
+			} else {
+				err = rd.absolutize()
+			}
+			if err != nil {
 				return heap.Null, err
 			}
 			rel := binary.BigEndian.Uint64(b[:])
@@ -159,7 +177,11 @@ func (rd *Reader) readObject() (heap.Addr, error) {
 			// streamed" case. The frameEnd check below catches references
 			// that never resolve.
 			if rd.verify {
-				if err := rd.verifyTop(rel); err != nil {
+				vt := rd.verifyTop
+				if rd.arena {
+					vt = rd.verifyTopArena
+				}
+				if err := vt(rel); err != nil {
 					return heap.Null, err
 				}
 			}
@@ -303,6 +325,9 @@ func (rd *Reader) readSegment() error {
 		}
 		wireCRC = binary.BigEndian.Uint32(crcb[:])
 	}
+	if rd.arena {
+		return rd.readSegmentArena(n, wireCRC)
+	}
 	base, err := rd.stageChunk(n)
 	if err != nil {
 		return err
@@ -373,6 +398,9 @@ func (rd *Reader) readCompactSegment() error {
 	if err := rd.checkSegment(buf, wireCRC); err != nil {
 		return err
 	}
+	if rd.arena {
+		return rd.readCompactSegmentArena(buf, decoded)
+	}
 	base, err := rd.stageChunk(decoded)
 	if err != nil {
 		return err
@@ -424,6 +452,11 @@ func (rd *Reader) translate(rel uint64) (heap.Addr, error) {
 	i := sort.Search(len(rd.chunks), func(i int) bool { return rd.chunks[i].startRel > rel }) - 1
 	if i < 0 || rel-rd.chunks[i].startRel >= uint64(rd.chunks[i].size) {
 		return heap.Null, rd.decodeErrf(DecodePointer, rel, "relative address outside received chunks")
+	}
+	if rd.arena {
+		// Arena chunks have no heap address: the handle IS the (tagged)
+		// relative address, resolved per access by the vm layer.
+		return heap.ComposeArenaAddr(rd.region.ID(), rel), nil
 	}
 	return rd.chunks[i].base + heap.Addr(rel-rd.chunks[i].startRel), nil
 }
@@ -609,6 +642,10 @@ func (rd *Reader) Free() {
 		rd.rt.GC.Unpin(p)
 	}
 	rd.pins = nil
+	if rd.region != nil {
+		rd.region.Release()
+		rd.region = nil
+	}
 	rd.chunks = nil
 	rd.parsed = 0
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"skyway/internal/arena"
 	"skyway/internal/fault"
 	"skyway/internal/gc"
 	"skyway/internal/heap"
@@ -81,6 +82,15 @@ func (c *Cluster) RunShuffle(spec ShuffleSpec) (metrics.Breakdown, error) {
 		return c.reduceTask(ex, spec, sh, p)
 	})
 	bd.Add(rbd)
+	// The stage has retired: any arena region this round's decoders staged
+	// is dead, reachable records having been consumed or promoted. Refcounts
+	// already reclaimed the regions of decoders that were Freed; this is the
+	// epoch backstop that sweeps the rest (an aborted stage's stragglers).
+	// Regions never bound to a shuffle epoch — broadcast decodes — are
+	// exempt and live by refcount alone.
+	for _, ex := range c.Execs {
+		ex.RT.Arena.RetireThrough(uint64(c.shuffleSeq))
+	}
 	return bd, err
 }
 
@@ -219,6 +229,11 @@ func (c *Cluster) mapTask(ex *Executor, spec ShuffleSpec, sh transport.Shuffle, 
 // releases every handle and input buffer the attempt created — the heap is
 // exactly as it was before the attempt — and returns the decode error, so
 // the caller's bounded re-fetch starts from a clean slate.
+//
+// A decoder on the arena path stages the block's segments in an off-heap
+// region; a successful decode binds that region to this shuffle round's
+// epoch so RunShuffle's stage-retirement backstop can reclaim it even if
+// the decoder is never Freed.
 func (c *Cluster) decodeBlock(ex *Executor, block []byte) (hs []*gc.Handle, freer interface{ Free() }, d time.Duration, err error) {
 	start := time.Now()
 	dec := c.Codec.NewDecoder(ex.RT, bytes.NewReader(block))
@@ -227,6 +242,11 @@ func (c *Cluster) decodeBlock(ex *Executor, block []byte) (hs []*gc.Handle, free
 		rec, rerr := dec.Read()
 		if rerr != nil {
 			if isEOF(rerr) {
+				if ar, ok := dec.(interface{ ArenaRegion() *arena.Region }); ok {
+					if reg := ar.ArenaRegion(); reg != nil {
+						reg.BindEpoch(uint64(c.shuffleSeq))
+					}
+				}
 				return hs, f, time.Since(start), nil
 			}
 			for _, h := range hs {

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"skyway/internal/datagen"
+	"skyway/internal/obs"
+)
+
+func TestArenaRegionLeak(t *testing.T) {
+	cfg := DefaultSparkConfig()
+	cfg.GraphScale = 0.02
+	spec, _ := datagen.GraphByName("LiveJournal", cfg.GraphScale)
+	g := spec.Generate()
+	for _, app := range SparkApps() {
+		if _, err := SparkRunInfo(app, g, "skyway-arena", cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var created, reclaimed int64
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) != 2 {
+			continue
+		}
+		v, _ := strconv.ParseInt(f[1], 10, 64)
+		switch f[0] {
+		case "skyway_arena_regions_total":
+			created = v
+		case "skyway_arena_regions_reclaimed_total":
+			reclaimed = v
+		}
+	}
+	t.Logf("regions created=%d reclaimed=%d", created, reclaimed)
+	if created != reclaimed {
+		t.Errorf("leaked %d arena regions", created-reclaimed)
+	}
+}

@@ -204,8 +204,11 @@ const (
 // SparkApps lists the workloads in report order.
 func SparkApps() []SparkApp { return []SparkApp{WC, PR, CC, TC} }
 
-// SparkSerializers lists the Figure 8(a) serializers in report order.
-func SparkSerializers() []string { return []string{"java", "kryo", "skyway"} }
+// SparkSerializers lists the Figure 8(a) serializers in report order. The
+// skyway-arena column is the lazy-decode extension (DESIGN.md "Arena & lazy
+// absolutization"): same wire bytes as skyway, received chunks held off-heap,
+// so its gc_pauses row in BENCH_spark.json tracks the arena's GC payoff.
+func SparkSerializers() []string { return []string{"java", "kryo", "skyway", "skyway-arena"} }
 
 // SparkConfig parameterizes the Spark matrix.
 type SparkConfig struct {
@@ -258,7 +261,7 @@ func newSparkCluster(cfg SparkConfig, codecName string) (*dataflow.Cluster, erro
 		c.Codec = serial.JavaCodec()
 	case "kryo":
 		c.Codec = serial.KryoCodec(dataflow.WorkloadRegistration())
-	case "skyway", "skyway-compact":
+	case "skyway", "skyway-compact", "skyway-arena":
 		rts := make([]*vm.Runtime, 0, len(c.Execs)+1)
 		rts = append(rts, c.Driver)
 		for _, ex := range c.Execs {
@@ -266,6 +269,7 @@ func newSparkCluster(cfg SparkConfig, codecName string) (*dataflow.Cluster, erro
 		}
 		sk := serial.NewSkywayCodec(rts...)
 		sk.Compact = codecName == "skyway-compact"
+		sk.Arena = codecName == "skyway-arena"
 		c.Codec = sk
 	default:
 		return nil, fmt.Errorf("experiments: unknown serializer %q", codecName)
@@ -388,7 +392,13 @@ func Table2(cells []SparkCell) map[string]*metrics.Summary {
 		if !ok {
 			continue
 		}
-		out[c.Serializer].Add(metrics.Normalize(c.Breakdown, b))
+		s, ok := out[c.Serializer]
+		if !ok {
+			// Extension columns (skyway-arena) are not part of the paper's
+			// Table 2 comparison.
+			continue
+		}
+		s.Add(metrics.Normalize(c.Breakdown, b))
 	}
 	return out
 }

@@ -101,7 +101,7 @@ func TestTable2Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cells) != 2*3 {
+	if len(cells) != 2*len(SparkSerializers()) {
 		t.Fatalf("%d cells", len(cells))
 	}
 	sums := Table2(cells)

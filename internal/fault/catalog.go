@@ -67,6 +67,18 @@ const (
 	// safepoint, forcing a collection there; with arg=oom the allocation
 	// fails outright with ErrOOM.
 	GCAllocFail = "gc.alloc.fail"
+
+	// ArenaMapFail fails an arena region's segment mapping, exercising the
+	// decode-time resource error on the off-heap staging path.
+	ArenaMapFail = "arena.map.fail"
+	// ArenaPromoteFail fails the copy-on-write promotion of an arena
+	// object graph into the managed heap, exercising the mutation-path
+	// error surface.
+	ArenaPromoteFail = "arena.promote.fail"
+	// ArenaRegionPrematureFree retires an arena region while its decoder
+	// still holds a reference, exercising the use-after-retire guard: the
+	// decode must fail with a structured error, never read freed memory.
+	ArenaRegionPrematureFree = "arena.region.premature-free"
 )
 
 // Catalog lists every registered failpoint name; the chaos matrix iterates
@@ -91,5 +103,8 @@ func Catalog() []string {
 		TransportStreamTorn,
 		TransportPeerSlow,
 		GCAllocFail,
+		ArenaMapFail,
+		ArenaPromoteFail,
+		ArenaRegionPrematureFree,
 	}
 }

@@ -35,7 +35,10 @@ func (c *Collector) FullGC() {
 	// --- mark ----------------------------------------------------------
 	var stack []heap.Addr
 	mark := func(a heap.Addr) {
-		if a == heap.Null || h.Marked(a) {
+		// Tagged arena addresses are not heap memory: the object graph they
+		// name lives outside the collector's purview, costs no mark/compact
+		// work, and is reclaimed wholesale when its region retires.
+		if a == heap.Null || heap.IsArenaAddr(a) || h.Marked(a) {
 			return
 		}
 		h.SetMarked(a, true)

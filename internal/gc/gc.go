@@ -98,6 +98,12 @@ type Stats struct {
 	// CardsScanned counts the dirty cards whose objects were scanned for
 	// old-to-young roots during scavenges.
 	CardsScanned uint64
+
+	// PinnedScanned counts pinned input-buffer objects walked as GC roots.
+	// On the arena decode path this stays at zero no matter how many bytes
+	// are resident off-heap — the measurable statement of "the collector
+	// never sees arena memory".
+	PinnedScanned uint64
 }
 
 // TotalPause returns the summed stop-the-world time.
@@ -119,6 +125,7 @@ func (s *Stats) Merge(other Stats) {
 		s.MaxPause = other.MaxPause
 	}
 	s.CardsScanned += other.CardsScanned
+	s.PinnedScanned += other.PinnedScanned
 }
 
 // Collector owns GC state for one heap.
@@ -266,6 +273,7 @@ func (c *Collector) eachPinnedObject(fn func(a heap.Addr)) {
 		a := p.Start
 		end := p.Start.Add(p.Size)
 		for a < end {
+			c.stats.PinnedScanned++
 			fn(a)
 			a = a.Add(c.meta.ObjectSize(a))
 		}

@@ -1,0 +1,87 @@
+package heap
+
+import (
+	"testing"
+
+	"skyway/internal/klass"
+)
+
+func TestArenaAddrRoundTrip(t *testing.T) {
+	cases := []struct {
+		region uint32
+		rel    uint64
+	}{
+		{1, RelBias},
+		{1, 0x12345678},
+		{uint32(ArenaRegionMask), BaddrRelMask},
+		{42, 0},
+	}
+	for _, c := range cases {
+		a := ComposeArenaAddr(c.region, c.rel)
+		if !IsArenaAddr(a) {
+			t.Errorf("ComposeArenaAddr(%d, %#x) not tagged", c.region, c.rel)
+		}
+		if got := ArenaRegionOf(a); got != c.region {
+			t.Errorf("ArenaRegionOf(%#x) = %d, want %d", uint64(a), got, c.region)
+		}
+		if got := ArenaRelOf(a); got != c.rel {
+			t.Errorf("ArenaRelOf(%#x) = %#x, want %#x", uint64(a), got, c.rel)
+		}
+	}
+	// Managed addresses and baddr words never carry the tag: the slab tops
+	// out far below 2^63 and baddr's top bits hold phase bits below bit 63.
+	if IsArenaAddr(Null) || IsArenaAddr(Addr(1<<40)) {
+		t.Error("untagged address classified as an arena handle")
+	}
+	// Composition masks oversized fields instead of corrupting neighbors.
+	a := ComposeArenaAddr(1<<24|7, 1<<41|0x99)
+	if ArenaRegionOf(a) != 7 || ArenaRelOf(a) != 0x99 {
+		t.Errorf("oversized fields leaked across boundaries: region %d rel %#x",
+			ArenaRegionOf(a), ArenaRelOf(a))
+	}
+}
+
+func TestLoadStoreBytesLittleEndian(t *testing.T) {
+	b := make([]byte, 16)
+	for _, c := range []struct {
+		kind klass.Kind
+		v    uint64
+	}{
+		{klass.Int64, 0x1122334455667788},
+		{klass.Ref, 0xFFEEDDCCBBAA9988},
+		{klass.Int32, 0xCAFEBABE},
+		{klass.Char, 0xBEEF},
+		{klass.Int8, 0x7F},
+	} {
+		for i := range b {
+			b[i] = 0
+		}
+		StoreBytes(b, 4, c.kind, c.v)
+		if got := LoadBytes(b, 4, c.kind); got != c.v {
+			t.Errorf("%v: LoadBytes after StoreBytes = %#x, want %#x", c.kind, got, c.v)
+		}
+	}
+	// Bit-identity with the wire: a stored Int32 must read back LE from the
+	// raw image, matching what CopyOut emits and Heap.Load would see.
+	StoreBytes(b, 0, klass.Int32, 0x04030201)
+	if b[0] != 1 || b[1] != 2 || b[2] != 3 || b[3] != 4 {
+		t.Errorf("StoreBytes wrote %v, want little-endian 01 02 03 04", b[:4])
+	}
+}
+
+func TestLoadBytesBoundsPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s escaped its image without panicking", name)
+			}
+		}()
+		f()
+	}
+	b := make([]byte, 8)
+	mustPanic("LoadBytes past end", func() { LoadBytes(b, 4, klass.Int64) })
+	mustPanic("LoadBytes offset overflow", func() { LoadBytes(b, ^uint32(0), klass.Int8) })
+	mustPanic("StoreBytes past end", func() { StoreBytes(b, 8, klass.Int8, 1) })
+	mustPanic("LoadBytes zero-size kind", func() { LoadBytes(b, 0, klass.Invalid) })
+}

@@ -123,6 +123,18 @@ func (h *Heap) SetHash(a Addr, hash uint32) {
 	h.SetMark(a, m)
 }
 
+// MarkHash extracts the cached identity hashcode from a raw mark word —
+// HashOf for object images that live outside the word slab (arena segments).
+func MarkHash(m uint64) (uint32, bool) {
+	return uint32((m & markHashMask) >> markHashShift), m&markHashedBit != 0
+}
+
+// MarkWithHash returns m with the identity hashcode cached — SetHash for
+// out-of-slab object images.
+func MarkWithHash(m uint64, hash uint32) uint64 {
+	return m&^markHashMask | uint64(hash)<<markHashShift | markHashedBit
+}
+
 // ResetTransientMarkBits returns m with the lock, GC and age bits cleared
 // while preserving the hashcode — Algorithm 2's RESETMARKBITS applied to the
 // buffer clone's header.

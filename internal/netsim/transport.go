@@ -33,7 +33,7 @@ func NewLocalTransport(model CostModel, spillDir string) *LocalTransport {
 
 // NewShuffle implements transport.Transport.
 func (t *LocalTransport) NewShuffle(seq int) (transport.Shuffle, error) {
-	return &localShuffle{t: t, seq: seq, blocks: make(map[blockKey][]byte)}, nil
+	return &localShuffle{t: t, seq: seq, blocks: transport.NewBlockStore[blockKey]()}, nil
 }
 
 // WriteCost implements transport.Transport: modelled from bytes, or the
@@ -93,13 +93,13 @@ type blockKey struct{ src, dst int }
 // localShuffle is one round's block store: serialized (mapper, partition)
 // blocks land here on the map side and are taken — exactly once — by the
 // partition's owning reducer. Parallel map and reduce tasks touch the store
-// from concurrent goroutines, so access is mutex-guarded.
+// from concurrent goroutines; the shared BlockStore guards access and, with
+// the arena knob on, parks each block off-heap.
 type localShuffle struct {
 	t   *LocalTransport
 	seq int
 
-	mu     sync.Mutex
-	blocks map[blockKey][]byte
+	blocks *transport.BlockStore[blockKey]
 }
 
 // spillPath names the shuffle block file for one (mapper, reducer) pair of
@@ -117,9 +117,7 @@ func (s *localShuffle) Put(src, dst int, block []byte) (time.Duration, error) {
 		}
 		return time.Since(start), nil
 	}
-	s.mu.Lock()
-	s.blocks[blockKey{src, dst}] = block
-	s.mu.Unlock()
+	s.blocks.Put(blockKey{src, dst}, block)
 	return 0, nil
 }
 
@@ -127,10 +125,8 @@ func (s *localShuffle) Put(src, dst int, block []byte) (time.Duration, error) {
 // the original bytes until Drop, so a fetch whose copy was damaged in flight
 // can be retried from the intact source.
 func (s *localShuffle) Fetch(src, dst int) ([]byte, time.Duration, error) {
-	s.mu.Lock()
-	block := s.blocks[blockKey{src, dst}]
-	s.mu.Unlock()
-	if block == nil && s.t.SpillDir != "" {
+	block, ok := s.blocks.Get(blockKey{src, dst})
+	if !ok && s.t.SpillDir != "" {
 		// Fetch the real block file (measured read I/O).
 		start := time.Now()
 		b, err := os.ReadFile(s.spillPath(src, dst))
@@ -147,9 +143,7 @@ func (s *localShuffle) Fetch(src, dst int) ([]byte, time.Duration, error) {
 
 // Drop implements transport.Shuffle.
 func (s *localShuffle) Drop(src, dst int) {
-	s.mu.Lock()
-	delete(s.blocks, blockKey{src, dst})
-	s.mu.Unlock()
+	s.blocks.Drop(blockKey{src, dst})
 	if s.t.SpillDir != "" {
 		os.Remove(s.spillPath(src, dst))
 	}
@@ -158,8 +152,6 @@ func (s *localShuffle) Drop(src, dst int) {
 // Close implements transport.Shuffle. Undropped spill files (an aborted
 // stage) are left for the caller's directory cleanup, as they always were.
 func (s *localShuffle) Close() error {
-	s.mu.Lock()
-	s.blocks = nil
-	s.mu.Unlock()
+	s.blocks.Close()
 	return nil
 }

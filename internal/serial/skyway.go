@@ -2,8 +2,10 @@ package serial
 
 import (
 	"io"
+	"os"
 	"sync"
 
+	"skyway/internal/arena"
 	"skyway/internal/core"
 	"skyway/internal/heap"
 	"skyway/internal/vm"
@@ -22,11 +24,20 @@ type SkywayCodec struct {
 	// Compact switches writers to the compact wire encoding (the header/
 	// padding compression the paper proposes as future work, §5.2).
 	Compact bool
+	// Arena switches decoders to the off-heap arena path: received
+	// segments stay relativized outside the managed heap and absolutize
+	// lazily on first mutation. The wire format is unchanged — Arena is a
+	// pure receiver-side policy, freely combinable with Compact. Defaults
+	// to the SKYWAY_ARENA environment knob.
+	Arena bool
 }
 
 // NewSkywayCodec builds the adapter for a set of runtimes.
 func NewSkywayCodec(runtimes ...*vm.Runtime) *SkywayCodec {
-	c := &SkywayCodec{services: make(map[*vm.Runtime]*core.Skyway, len(runtimes))}
+	c := &SkywayCodec{
+		services: make(map[*vm.Runtime]*core.Skyway, len(runtimes)),
+		Arena:    arena.Enabled(os.Getenv("SKYWAY_ARENA")),
+	}
 	for _, rt := range runtimes {
 		c.services[rt] = core.New(rt)
 	}
@@ -84,6 +95,9 @@ func (c *SkywayCodec) Name() string {
 	if c.Compact {
 		return "skyway-compact"
 	}
+	if c.Arena {
+		return "skyway-arena"
+	}
 	return "skyway"
 }
 
@@ -99,7 +113,11 @@ func (c *SkywayCodec) NewEncoder(rt *vm.Runtime, w io.Writer) Encoder {
 
 // NewDecoder implements Codec.
 func (c *SkywayCodec) NewDecoder(rt *vm.Runtime, r io.Reader) Decoder {
-	return &skywayDecoder{r: core.NewReader(rt, r)}
+	var opts []core.ReaderOption
+	if c.Arena {
+		opts = append(opts, core.WithArena())
+	}
+	return &skywayDecoder{r: core.NewReader(rt, r, opts...)}
 }
 
 type skywayEncoder struct {
@@ -125,3 +143,8 @@ func (d *skywayDecoder) Objects() uint64 { return d.r.Objects }
 
 // Free releases the decoder's input buffers (explicit-free API, §3.2).
 func (d *skywayDecoder) Free() { d.r.Free() }
+
+// ArenaRegion exposes the decoder's arena region (nil on the eager path)
+// so the dataflow layer can bind shuffle-stage regions to their stage
+// epoch for wholesale reclamation.
+func (d *skywayDecoder) ArenaRegion() *arena.Region { return d.r.ArenaRegion() }

@@ -1,0 +1,52 @@
+package transport
+
+import "testing"
+
+func TestBlockStorePutGetDrop(t *testing.T) {
+	s := NewBlockStore[string]()
+	defer s.Close()
+
+	s.Put("a", []byte("alpha"))
+	s.Put("b", []byte("beta"))
+	if s.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", s.Len())
+	}
+	if b, ok := s.Get("a"); !ok || string(b) != "alpha" {
+		t.Fatalf("Get(a) = %q, %v", b, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get of a missing key reported ok")
+	}
+
+	// Replacing a key frees the old blob and serves the new bytes.
+	s.Put("a", []byte("alpha2"))
+	if b, _ := s.Get("a"); string(b) != "alpha2" {
+		t.Fatalf("Get after replace = %q", b)
+	}
+
+	s.Drop("a")
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("Get after Drop reported ok")
+	}
+	s.Drop("a") // dropping a missing key is a no-op
+	if s.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", s.Len())
+	}
+}
+
+func TestBlockStoreOffHeap(t *testing.T) {
+	t.Setenv("SKYWAY_ARENA", "1")
+	s := NewBlockStore[int]()
+	defer s.Close()
+
+	src := []byte("shuffle block")
+	s.Put(7, src)
+	src[0] = 'X' // sender recycles its buffer; the stored copy must not move
+	if b, _ := s.Get(7); string(b) != "shuffle block" {
+		t.Fatalf("off-heap block aliases the sender buffer: %q", b)
+	}
+	s.Close()
+	if s.Len() != 0 {
+		t.Fatalf("Len() after Close = %d, want 0", s.Len())
+	}
+}

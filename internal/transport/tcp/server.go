@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"skyway/internal/obs"
+	"skyway/internal/transport"
 )
 
 // Block-server counters, exported on /metrics.
@@ -35,7 +36,7 @@ type Server struct {
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]bool
-	blocks map[blockID][]byte
+	blocks *transport.BlockStore[blockID]
 	bcasts map[uint32][]byte
 }
 
@@ -45,7 +46,7 @@ func Serve(id int, ln net.Listener) *Server {
 	s := &Server{
 		id: id, ln: ln,
 		conns:  make(map[net.Conn]bool),
-		blocks: make(map[blockID][]byte),
+		blocks: transport.NewBlockStore[blockID](),
 		bcasts: make(map[uint32][]byte),
 	}
 	s.wg.Add(1)
@@ -71,6 +72,9 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
+	// All handlers have drained, so no send can still be reading a block:
+	// safe to release the store's off-heap blobs.
+	s.blocks.Close()
 	return err
 }
 
@@ -103,28 +107,23 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// store/load/drop are the mutex-guarded block table operations; the framed
-// conversations never run under the lock, so a slow transfer on one
-// connection cannot stall another connection's lookup.
+// store/load/drop delegate to the shared block store (off-heap blobs under
+// the arena knob); the framed conversations never run under its lock, so a
+// slow transfer on one connection cannot stall another connection's lookup.
+// A loaded view stays valid while it is streamed because only the owning
+// reducer drops a block, and only after its fetch completed.
 func (s *Server) store(id blockID, block []byte) {
-	s.mu.Lock()
-	s.blocks[id] = block
-	s.mu.Unlock()
+	s.blocks.Put(id, block)
 	ctrSrvBlocks.Inc()
 	ctrSrvBlockBytes.Add(int64(len(block)))
 }
 
 func (s *Server) load(id blockID) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	b, ok := s.blocks[id]
-	return b, ok
+	return s.blocks.Get(id)
 }
 
 func (s *Server) dropBlock(id blockID) {
-	s.mu.Lock()
-	delete(s.blocks, id)
-	s.mu.Unlock()
+	s.blocks.Drop(id)
 }
 
 // handle runs one connection's request loop. Any protocol violation severs

@@ -7,18 +7,23 @@ import (
 	"skyway/internal/klass"
 )
 
-// Typed field and array accessors. Reference stores go through a card-table
-// write barrier: a pointer written into tenured space (old generation or a
-// Skyway input buffer) dirties the owner's card so the next scavenge can
-// find old-to-young edges (§4.3).
+// Typed field and array accessors. Every read goes through the rt.load
+// funnel (arena.go), which resolves tagged arena addresses against their
+// off-heap region; every write goes through rt.mutable first, promoting an
+// arena-resident object into the managed heap on its first mutation
+// (copy-on-write). Reference stores go through a card-table write barrier:
+// a pointer written into tenured space (old generation or a Skyway input
+// buffer) dirties the owner's card so the next scavenge can find
+// old-to-young edges (§4.3).
 
 // GetRef loads the reference field f of the object at a.
 func (rt *Runtime) GetRef(a heap.Addr, f *klass.Field) heap.Addr {
-	return heap.Addr(rt.Heap.Load(a, f.Offset, klass.Ref))
+	return heap.Addr(rt.load(a, f.Offset, klass.Ref))
 }
 
 // SetRef stores v into the reference field f of the object at a.
 func (rt *Runtime) SetRef(a heap.Addr, f *klass.Field, v heap.Addr) {
+	a = rt.mutable(a)
 	rt.Heap.Store(a, f.Offset, klass.Ref, uint64(v))
 	rt.refBarrier(a)
 }
@@ -31,18 +36,19 @@ func (rt *Runtime) refBarrier(owner heap.Addr) {
 
 // storePrim stores a value whose kind is only known at run time but must be
 // primitive; the typed setters route their dynamic-kind stores through this
-// single checked funnel.
+// single checked funnel, which is also where arena objects promote.
 func (rt *Runtime) storePrim(a heap.Addr, off uint32, kind klass.Kind, v uint64) {
 	if kind == klass.Ref {
 		panic("vm: storePrim on a reference slot; use SetRef/ArraySetRef")
 	}
+	a = rt.mutable(a)
 	//skyway:allow writebarrier — kind is checked non-Ref above, so no reference is written
 	rt.Heap.Store(a, off, kind, v)
 }
 
 // GetLong loads a 64-bit integer field.
 func (rt *Runtime) GetLong(a heap.Addr, f *klass.Field) int64 {
-	return int64(rt.Heap.Load(a, f.Offset, f.Kind))
+	return int64(rt.load(a, f.Offset, f.Kind))
 }
 
 // SetLong stores a 64-bit integer field.
@@ -52,7 +58,7 @@ func (rt *Runtime) SetLong(a heap.Addr, f *klass.Field, v int64) {
 
 // GetInt loads an integer field of any width, sign-extended.
 func (rt *Runtime) GetInt(a heap.Addr, f *klass.Field) int64 {
-	raw := rt.Heap.Load(a, f.Offset, f.Kind)
+	raw := rt.load(a, f.Offset, f.Kind)
 	switch f.Kind {
 	case klass.Int8:
 		return int64(int8(raw))
@@ -72,7 +78,7 @@ func (rt *Runtime) SetInt(a heap.Addr, f *klass.Field, v int64) {
 
 // GetBool loads a boolean field.
 func (rt *Runtime) GetBool(a heap.Addr, f *klass.Field) bool {
-	return rt.Heap.Load(a, f.Offset, klass.Bool) != 0
+	return rt.load(a, f.Offset, klass.Bool) != 0
 }
 
 // SetBool stores a boolean field.
@@ -81,37 +87,39 @@ func (rt *Runtime) SetBool(a heap.Addr, f *klass.Field, v bool) {
 	if v {
 		raw = 1
 	}
-	rt.Heap.Store(a, f.Offset, klass.Bool, raw)
+	rt.storePrim(a, f.Offset, klass.Bool, raw)
 }
 
 // GetDouble loads a float64 field.
 func (rt *Runtime) GetDouble(a heap.Addr, f *klass.Field) float64 {
-	return math.Float64frombits(rt.Heap.Load(a, f.Offset, klass.Float64))
+	return math.Float64frombits(rt.load(a, f.Offset, klass.Float64))
 }
 
 // SetDouble stores a float64 field.
 func (rt *Runtime) SetDouble(a heap.Addr, f *klass.Field, v float64) {
-	rt.Heap.Store(a, f.Offset, klass.Float64, math.Float64bits(v))
+	rt.storePrim(a, f.Offset, klass.Float64, math.Float64bits(v))
 }
 
 // GetFloat loads a float32 field.
 func (rt *Runtime) GetFloat(a heap.Addr, f *klass.Field) float32 {
-	return math.Float32frombits(uint32(rt.Heap.Load(a, f.Offset, klass.Float32)))
+	return math.Float32frombits(uint32(rt.load(a, f.Offset, klass.Float32)))
 }
 
 // SetFloat stores a float32 field.
 func (rt *Runtime) SetFloat(a heap.Addr, f *klass.Field, v float32) {
-	rt.Heap.Store(a, f.Offset, klass.Float32, uint64(math.Float32bits(v)))
+	rt.storePrim(a, f.Offset, klass.Float32, uint64(math.Float32bits(v)))
 }
 
-// GetRaw loads the raw bits of any field.
+// GetRaw loads the raw bits of any field (for reference fields of arena
+// objects, the tagged handle).
 func (rt *Runtime) GetRaw(a heap.Addr, f *klass.Field) uint64 {
-	return rt.Heap.Load(a, f.Offset, f.Kind)
+	return rt.load(a, f.Offset, f.Kind)
 }
 
 // SetRaw stores raw bits into any field, applying the write barrier for
 // reference fields.
 func (rt *Runtime) SetRaw(a heap.Addr, f *klass.Field, v uint64) {
+	a = rt.mutable(a)
 	rt.Heap.Store(a, f.Offset, f.Kind, v)
 	if f.Kind == klass.Ref {
 		rt.refBarrier(a)
@@ -122,7 +130,7 @@ func (rt *Runtime) SetRaw(a heap.Addr, f *klass.Field, v uint64) {
 
 func (rt *Runtime) elemOff(a heap.Addr, i int) (uint32, klass.Kind) {
 	k := rt.KlassOf(a)
-	n := rt.Heap.ArrayLen(a)
+	n := rt.ArrayLen(a)
 	if i < 0 || i >= n {
 		panic("vm: array index out of bounds")
 	}
@@ -132,11 +140,12 @@ func (rt *Runtime) elemOff(a heap.Addr, i int) (uint32, klass.Kind) {
 // ArrayGetRef loads element i of a reference array.
 func (rt *Runtime) ArrayGetRef(a heap.Addr, i int) heap.Addr {
 	off, _ := rt.elemOff(a, i)
-	return heap.Addr(rt.Heap.Load(a, off, klass.Ref))
+	return heap.Addr(rt.load(a, off, klass.Ref))
 }
 
 // ArraySetRef stores element i of a reference array.
 func (rt *Runtime) ArraySetRef(a heap.Addr, i int, v heap.Addr) {
+	a = rt.mutable(a)
 	off, _ := rt.elemOff(a, i)
 	rt.Heap.Store(a, off, klass.Ref, uint64(v))
 	rt.refBarrier(a)
@@ -145,7 +154,7 @@ func (rt *Runtime) ArraySetRef(a heap.Addr, i int, v heap.Addr) {
 // ArrayGetLong loads element i of an integer array, sign-extended.
 func (rt *Runtime) ArrayGetLong(a heap.Addr, i int) int64 {
 	off, kind := rt.elemOff(a, i)
-	raw := rt.Heap.Load(a, off, kind)
+	raw := rt.load(a, off, kind)
 	switch kind {
 	case klass.Int8:
 		return int64(int8(raw))
@@ -167,26 +176,31 @@ func (rt *Runtime) ArraySetLong(a heap.Addr, i int, v int64) {
 // ArrayGetDouble loads element i of a double array.
 func (rt *Runtime) ArrayGetDouble(a heap.Addr, i int) float64 {
 	off, _ := rt.elemOff(a, i)
-	return math.Float64frombits(rt.Heap.Load(a, off, klass.Float64))
+	return math.Float64frombits(rt.load(a, off, klass.Float64))
 }
 
 // ArraySetDouble stores element i of a double array.
 func (rt *Runtime) ArraySetDouble(a heap.Addr, i int, v float64) {
 	off, _ := rt.elemOff(a, i)
-	rt.Heap.Store(a, off, klass.Float64, math.Float64bits(v))
+	rt.storePrim(a, off, klass.Float64, math.Float64bits(v))
 }
 
 // ArrayGetChar loads element i of a char array.
 func (rt *Runtime) ArrayGetChar(a heap.Addr, i int) uint16 {
 	off, _ := rt.elemOff(a, i)
-	return uint16(rt.Heap.Load(a, off, klass.Char))
+	return uint16(rt.load(a, off, klass.Char))
 }
 
 // ArraySetChar stores element i of a char array.
 func (rt *Runtime) ArraySetChar(a heap.Addr, i int, v uint16) {
 	off, _ := rt.elemOff(a, i)
-	rt.Heap.Store(a, off, klass.Char, uint64(v))
+	rt.storePrim(a, off, klass.Char, uint64(v))
 }
 
 // ArrayLen returns the length of the array at a.
-func (rt *Runtime) ArrayLen(a heap.Addr) int { return rt.Heap.ArrayLen(a) }
+func (rt *Runtime) ArrayLen(a heap.Addr) int {
+	if heap.IsArenaAddr(a) {
+		return int(rt.load(a, rt.Heap.Layout().OffArrayLen(), klass.Int64))
+	}
+	return rt.Heap.ArrayLen(a)
+}

@@ -1,0 +1,144 @@
+package vm
+
+import (
+	"fmt"
+
+	"skyway/internal/arena"
+	"skyway/internal/fault"
+	"skyway/internal/heap"
+	"skyway/internal/klass"
+)
+
+// Arena routing: the lazy-absolutization half of the accessor layer.
+//
+// A tagged arena address (heap.IsArenaAddr) names an object that still lives
+// in its received wire image inside an off-heap region — relativized
+// references, global type ID in the klass word, untouched by the collector.
+// Reads resolve through the region's bounds-checked segment table; reference
+// loads re-tag the stored relative address instead of translating it, so
+// following a pointer costs one compose, not a table rewrite. The first
+// mutation promotes the object into the managed heap (copy-on-write), after
+// which the region forwards every access to the promoted copy.
+
+// arenaObject resolves a tagged address to its region and biased relative
+// address, failing loudly on a handle that outlived its region.
+func (rt *Runtime) arenaObject(a heap.Addr) (*arena.Region, uint64) {
+	return rt.Arena.MustRegion(heap.ArenaRegionOf(a)), heap.ArenaRelOf(a)
+}
+
+// load is the kind-typed read funnel shared by every accessor: managed
+// addresses hit the word slab, arena addresses resolve through the region
+// (or its promoted copy), and arena reference slots come back re-tagged.
+func (rt *Runtime) load(a heap.Addr, off uint32, kind klass.Kind) uint64 {
+	if !heap.IsArenaAddr(a) {
+		return rt.Heap.Load(a, off, kind)
+	}
+	reg, rel := rt.arenaObject(a)
+	if p := reg.PromotedAddr(rel); p != heap.Null {
+		return rt.Heap.Load(p, off, kind)
+	}
+	b, err := reg.Resolve(rel+uint64(off), kind.Size())
+	if err != nil {
+		// Decode-time validation proved every object (and so every field)
+		// fits its segment; an escaping read can only be a forged or stale
+		// handle, which must not become an out-of-region read.
+		panic(fmt.Sprintf("vm: %s: arena read escapes its segment: %v", rt.Name, err))
+	}
+	v := heap.LoadBytes(b, 0, kind)
+	if kind == klass.Ref && v != 0 {
+		v = uint64(heap.ComposeArenaAddr(reg.ID(), v))
+	}
+	return v
+}
+
+// mutable returns a managed-heap address for a, promoting an arena-resident
+// object on its first mutation. Promotion failure is fatal here for the same
+// reason MustNew treats OOM as fatal: the typed setters have no error path,
+// and a workload that needs to survive promotion failure uses Promote
+// directly.
+func (rt *Runtime) mutable(a heap.Addr) heap.Addr {
+	if !heap.IsArenaAddr(a) {
+		return a
+	}
+	p, err := rt.Promote(a)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Promote copies the arena-resident object at a into the managed heap,
+// leaving the arena image untouched and forwarding all subsequent access to
+// the copy. Idempotent: promoting an already-promoted object returns the
+// existing copy. The copy is in exactly the state eager absolutization
+// would have produced — local klass word, field updates applied (they were
+// applied to the image at validation time) — except that its reference
+// slots hold tagged arena addresses instead of chunk addresses: the rest of
+// the graph stays lazy.
+//
+// The copy lands in the same pinned buffer space eager absolutization fills:
+// non-moving, registered with the collector as a parsed root, freed when the
+// region retires. Allocating there never triggers a collection, which keeps
+// the typed setters GC-free for managed addresses — a write barrier is not a
+// safepoint.
+func (rt *Runtime) Promote(a heap.Addr) (heap.Addr, error) {
+	if !heap.IsArenaAddr(a) {
+		return a, nil
+	}
+	reg, rel := rt.arenaObject(a)
+	if p := reg.PromotedAddr(rel); p != heap.Null {
+		return p, nil
+	}
+	if err := fault.Inject(fault.ArenaPromoteFail); err != nil {
+		return heap.Null, fmt.Errorf("vm: %s: promote %#x: %w", rt.Name, uint64(a), err)
+	}
+	k := rt.KlassOf(a)
+	size := k.Size
+	if k.IsArray {
+		size = k.InstanceBytes(rt.ArrayLen(a))
+	}
+	img, err := reg.Resolve(rel, size)
+	if err != nil {
+		return heap.Null, fmt.Errorf("vm: %s: promote %#x: %w", rt.Name, uint64(a), err)
+	}
+	dst := rt.Heap.AllocBuffer(size)
+	if dst == heap.Null {
+		return heap.Null, fmt.Errorf("%w: %s: promoting %d bytes from arena region %d", ErrOOM, rt.Name, size, reg.ID())
+	}
+	h := rt.Heap
+	h.CopyIn(dst, size, img)
+	// The image mirrors an eager chunk byte for byte, so the promoted copy
+	// needs the same single header fixup absolutization performs: global
+	// type ID -> local klass ID. References are re-tagged rather than
+	// translated — their targets still live in the region.
+	h.SetKlassWord(dst, uint64(k.LID))
+	// Walked inline rather than through RefSlots: its callback parameter is a
+	// dynamic call the staleaddr call graph must treat as allocating, and
+	// this funnel sits under every typed setter.
+	retag := func(off uint32) {
+		if r := h.Load(dst, off, klass.Ref); r != 0 {
+			//skyway:allow writebarrier — the stored value is a tagged arena address, not a young-generation pointer; the card table has nothing to find
+			h.Store(dst, off, klass.Ref, uint64(heap.ComposeArenaAddr(reg.ID(), r)))
+		}
+	}
+	if k.IsArray {
+		if k.Elem == klass.Ref {
+			n := h.ArrayLen(dst)
+			base := h.Layout().ArrayHeaderSize()
+			for i := 0; i < n; i++ {
+				retag(base + uint32(i)*8)
+			}
+		}
+	} else {
+		for _, off := range k.RefOffsets {
+			retag(off)
+		}
+	}
+	pin := rt.GC.Pin(dst, size)
+	pin.Parsed = true
+	if winner := reg.SetPromoted(rel, dst, func() { rt.GC.Unpin(pin) }); winner != dst {
+		rt.GC.Unpin(pin)
+		return winner, nil
+	}
+	return dst, nil
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 
+	"skyway/internal/arena"
 	"skyway/internal/fault"
 	"skyway/internal/gc"
 	"skyway/internal/heap"
@@ -28,6 +29,11 @@ type Runtime struct {
 
 	Heap *heap.Heap
 	GC   *gc.Collector
+
+	// Arena is the node's off-heap region space: received Skyway segments
+	// staged there stay relativized and invisible to GC, read through
+	// tagged addresses the accessor layer routes (see arena.go).
+	Arena *arena.Space
 
 	// Trace is the runtime's observability timeline (one thread row in the
 	// Chrome trace): GC pauses, Skyway transfers, and executor tasks on
@@ -82,6 +88,7 @@ func NewRuntime(cp *klass.Path, opts Options) (*Runtime, error) {
 	rt := &Runtime{
 		Name:         opts.Name,
 		Heap:         heap.New(opts.Heap),
+		Arena:        arena.NewSpace(),
 		cp:           cp,
 		byName:       make(map[string]*klass.Klass),
 		byTID:        make(map[int32]*klass.Klass),
@@ -199,8 +206,24 @@ func (rt *Runtime) KlassByTID(tid int32) (*klass.Klass, error) {
 	return rt.LoadClass(name)
 }
 
-// KlassOf returns the klass of the live object at a.
+// KlassOf returns the klass of the live object at a. For an arena-resident
+// object the klass word still holds the wire's global type ID (the lazy
+// counterpart of absolutization's klass-word rewrite); decode-time
+// validation already resolved and loaded every class in the stream, so the
+// TID lookup cannot miss on a valid handle.
 func (rt *Runtime) KlassOf(a heap.Addr) *klass.Klass {
+	if heap.IsArenaAddr(a) {
+		reg, rel := rt.arenaObject(a)
+		if p := reg.PromotedAddr(rel); p != heap.Null {
+			return rt.KlassAt(int32(rt.Heap.KlassWord(p)))
+		}
+		tid := int32(uint32(rt.load(a, klass.OffKlass, klass.Int64)))
+		k, err := rt.KlassByTID(tid)
+		if err != nil {
+			panic(fmt.Sprintf("vm: %s: arena object %#x has unresolvable type ID %d: %v", rt.Name, uint64(a), tid, err))
+		}
+		return k
+	}
 	return rt.KlassAt(int32(rt.Heap.KlassWord(a)))
 }
 
@@ -326,20 +349,45 @@ func (rt *Runtime) Pin(a heap.Addr) *gc.Handle { return rt.GC.NewHandle(a) }
 
 // HashCode returns the object's identity hashcode, computing and caching it
 // in the mark word on first use — exactly the JVM behaviour that makes
-// Skyway's header-preserving copy skip receiver-side rehashing.
+// Skyway's header-preserving copy skip receiver-side rehashing. Caching a
+// hash in an arena image is identity metadata, not a logical mutation, so
+// it does not trigger promotion (mirroring how eager absolutization leaves
+// wire mark words in place).
 func (rt *Runtime) HashCode(a heap.Addr) uint32 {
+	if heap.IsArenaAddr(a) {
+		reg, rel := rt.arenaObject(a)
+		p := reg.PromotedAddr(rel)
+		if p == heap.Null {
+			b, err := reg.Resolve(rel+uint64(klass.OffMark), klass.WordSize)
+			if err != nil {
+				panic(fmt.Sprintf("vm: %s: arena read escapes its segment: %v", rt.Name, err))
+			}
+			m := heap.LoadBytes(b, 0, klass.Int64)
+			if h, ok := heap.MarkHash(m); ok {
+				return h
+			}
+			h := rt.nextHash()
+			heap.StoreBytes(b, 0, klass.Int64, heap.MarkWithHash(m, h))
+			return h
+		}
+		a = p
+	}
 	if h, ok := rt.Heap.HashOf(a); ok {
 		return h
 	}
-	// splitmix64 step over runtime-local state: repeatable per run order,
-	// well distributed.
+	h := rt.nextHash()
+	rt.Heap.SetHash(a, h)
+	return h
+}
+
+// nextHash draws the next identity hash: a splitmix64 step over
+// runtime-local state — repeatable per run order, well distributed.
+func (rt *Runtime) nextHash() uint32 {
 	rt.hashState += 0x9E3779B97F4A7C15
 	z := rt.hashState
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	h := uint32((z ^ (z >> 31)) & 0x7FFFFFFF)
-	rt.Heap.SetHash(a, h)
-	return h
+	return uint32((z ^ (z >> 31)) & 0x7FFFFFFF)
 }
 
 // --- field update registration (§3.3) ---------------------------------------
